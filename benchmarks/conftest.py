@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (in
+quick mode, so the whole suite stays affordable) and asserts the
+headline claim, making the harness double as a regression gate for the
+reproduction.  Workload construction is pre-warmed outside the timed
+region via the experiment platform caches.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time a single execution of an experiment entry point."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,12 @@
+"""Benchmark: the cache design-space ablation (Section I's limitations)."""
+
+from repro.experiments import ablation
+from repro.experiments.platform import training_setup
+
+
+def test_ablation_cache_designs(benchmark, once):
+    training_setup("densenet264", True)
+    result = once(benchmark, ablation.run, quick=True)
+    base = result.data["baseline (direct-mapped, DDO, insert-on-miss)"]
+    no_ddo = result.data["no DDO"]
+    assert no_ddo["seconds"] >= base["seconds"]

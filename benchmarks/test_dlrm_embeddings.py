@@ -1,0 +1,11 @@
+"""Benchmark: the DLRM embedding extension case study."""
+
+from repro.experiments import dlrm
+
+
+def test_dlrm_embeddings(benchmark, once):
+    result = once(benchmark, dlrm.run, quick=True)
+    assert result.data["inference"]["bandana_speedup_over_2lm"] > 1.2
+    bandana = result.data["inference"]["bandana"]
+    cached = result.data["inference"]["2lm"]
+    assert bandana["hit_fraction"] > cached["hit_fraction"]

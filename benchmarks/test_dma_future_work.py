@@ -1,0 +1,13 @@
+"""Benchmark: the Section VII-B asynchronous-movement study."""
+
+from repro.experiments import dma
+from repro.experiments.platform import training_setup
+
+
+def test_dma_future_work(benchmark, once):
+    training_setup("densenet264", True)
+    result = once(benchmark, dma.run, quick=True)
+    assert result.data["async_over_sync"] > 1.0
+    assert result.data["async_over_2lm"] > result.data["2lm_seconds"] / (
+        result.data["sync_seconds"] + 1e-9
+    ) * 0.99

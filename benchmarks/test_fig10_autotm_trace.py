@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 10 (AutoTM bandwidth trace)."""
+
+from repro.experiments import fig10
+from repro.experiments.platform import training_setup
+
+
+def test_fig10_autotm_trace(benchmark, once):
+    training_setup("densenet264", True)
+    result = once(benchmark, fig10.run, quick=True)
+    data = result.data
+    assert data["nvram_writes_forward"] > data["nvram_writes_backward"]
+    assert data["nvram_reads_backward"] > data["nvram_reads_forward"]

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 2 (raw NVRAM bandwidth curves)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_nvram_bandwidth(benchmark, once):
+    result = once(benchmark, fig2.run, quick=True)
+    assert 30 <= result.data["peak_read"] <= 33
+    assert 10 <= result.data["peak_write"] <= 12

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4 (2LM bandwidth at 100% miss)."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def test_fig4_2lm_bandwidth(benchmark, once):
+    result = once(benchmark, fig4.run, quick=True)
+    read_case = result.data["4a_read_clean_miss"]["sequential_64"]
+    write_case = result.data["4b_write_dirty_miss"]["sequential_64"]
+    assert read_case["amplification"] == pytest.approx(3.0, abs=0.05)
+    assert write_case["amplification"] == pytest.approx(5.0, abs=0.05)
+    assert 20 <= read_case["nvram_read"] <= 26  # paper: 23 GB/s

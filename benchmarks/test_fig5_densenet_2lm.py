@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (DenseNet 2LM training iteration)."""
+
+from repro.experiments import fig5
+from repro.experiments.platform import training_setup
+
+
+def test_fig5_densenet_2lm(benchmark, once):
+    training_setup("densenet264", True)  # build outside the timed region
+    result = once(benchmark, fig5.run, quick=True)
+    assert result.data["dirty_misses"] > result.data["clean_misses"]
+    assert result.data["buffer_bytes"] > result.data["cache_bytes"]

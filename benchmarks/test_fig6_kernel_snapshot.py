@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6 (dense-block kernel bottlenecks)."""
+
+from repro.experiments import fig6
+from repro.experiments.platform import training_setup
+
+
+def test_fig6_kernel_snapshot(benchmark, once):
+    training_setup("densenet264", True)
+    result = once(benchmark, fig6.run, quick=True)
+    assert result.data["concat"]["memory_bound"]
+    assert not result.data["conv"]["memory_bound"]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 (graph kernels, kron vs wdc in 2LM)."""
+
+from repro.experiments import fig7
+from repro.experiments.platform import kron_graph, wdc_graph
+
+
+def test_fig7_graph_bandwidth(benchmark, once):
+    kron_graph(True), wdc_graph(True)  # generate outside the timed region
+    result = once(benchmark, fig7.run, quick=True)
+    for kernel in ("cc", "pr"):
+        assert (
+            result.data["wdc"]["kernels"][kernel]["dram_gbps"]
+            < result.data["kron"]["kernels"][kernel]["dram_gbps"]
+        )

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (data moved, NUMA vs 2LM)."""
+
+from repro.experiments import fig8
+from repro.experiments.platform import wdc_graph
+
+
+def test_fig8_data_moved(benchmark, once):
+    wdc_graph(True)
+    result = once(benchmark, fig8.run, quick=True)
+    for kernel, row in result.data.items():
+        assert row["amplification"] > 1.1, kernel

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (pagerank-push traces)."""
+
+from repro.experiments import fig9
+from repro.experiments.platform import kron_graph, wdc_graph
+
+
+def test_fig9_pagerank_trace(benchmark, once):
+    kron_graph(True), wdc_graph(True)
+    result = once(benchmark, fig9.run, quick=True)
+    assert result.data["wdc"]["dram_gbps"] < result.data["kron"]["dram_gbps"]
+    assert (result.data["wdc"]["series"]["nvram_read"][1:] > 0).all()

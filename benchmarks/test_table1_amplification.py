@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table I (access amplification, exact)."""
+
+from repro.experiments import table1
+
+
+def test_table1_amplification(benchmark, once):
+    result = once(benchmark, table1.run, quick=True)
+    assert result.data["matches_paper"]

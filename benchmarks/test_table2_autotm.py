@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (2LM vs AutoTM, three CNNs)."""
+
+from repro.experiments import table2
+from repro.experiments.platform import training_setup
+
+
+def test_table2_autotm(benchmark, once):
+    for network in table2.NETWORKS:
+        training_setup(network, True)
+    result = once(benchmark, table2.run, quick=True)
+    for network, row in result.data.items():
+        assert row["speedup"] > 1.1, network
+        assert 0.3 < row["nvram_traffic_ratio"] < 0.7, network
+    assert (
+        result.data["densenet264"]["speedup"]
+        > result.data["inception_v4"]["speedup"]
+    )

@@ -1,0 +1,90 @@
+"""Extension case study: recommendation-model embeddings on NVRAM.
+
+The paper's introduction names DLRM-scale recommendation engines among
+the workloads driving NVRAM adoption, and cites Bandana — storing
+embedding tables in NVM with hot rows in DRAM — as prior art.  This
+script builds that workload: 26 Zipf-skewed embedding tables totalling
+~5x the DRAM capacity, looked up in batches, under three memory
+configurations.
+
+Run:  python examples/recommendation_bandana.py [--training]
+"""
+
+import argparse
+
+from repro.config import default_platform
+from repro.perf.report import render_table
+from repro.recsys import (
+    EmbeddingModel,
+    generate_trace,
+    plan_hot_rows,
+    run_recsys,
+)
+from repro.units import format_bytes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--training",
+        action="store_true",
+        help="include gradient scatter-updates (default: inference)",
+    )
+    args = parser.parse_args()
+
+    platform = default_platform()
+    rows = int(5 * platform.socket.dram_capacity / (26 * 256))
+    model = EmbeddingModel.dlrm_like(num_tables=26, rows_per_table=rows)
+    print(
+        f"Model: 26 embedding tables, {format_bytes(model.size_bytes)} total, "
+        f"vs {format_bytes(platform.socket.dram_capacity)} DRAM"
+    )
+
+    print("Profiling row popularity and planning the Bandana placement...")
+    profile = generate_trace(model, batch_size=128, num_batches=10, seed=1)
+    trace = generate_trace(model, batch_size=128, num_batches=30, seed=2)
+    placement = plan_hot_rows(
+        model, profile, int(platform.socket.dram_capacity * 0.9)
+    )
+    print(
+        f"  pinned {format_bytes(placement.hot_bytes)} of hot rows; "
+        f"expected DRAM hit fraction "
+        f"{placement.expected_hit_fraction(trace):.0%}"
+    )
+
+    rows_out = []
+    for mode, kwargs in (
+        ("2lm", {}),
+        ("bandana", {"placement": placement}),
+        ("nvram", {}),
+    ):
+        result = run_recsys(
+            model, trace, platform, mode=mode, training=args.training, **kwargs
+        )
+        rows_out.append(
+            [
+                mode,
+                f"{result.samples_per_second:.0f}",
+                f"{result.dram_hit_fraction:.2f}",
+                f"{result.traffic.amplification:.2f}x",
+            ]
+        )
+
+    phase = "training" if args.training else "inference"
+    print()
+    print(
+        render_table(
+            ["mode", "samples/s (virtual)", "DRAM hit", "amplification"],
+            rows_out,
+            title=f"Embedding {phase}: hardware cache vs software placement",
+        )
+    )
+    print(
+        "\nPopularity-aware software placement beats the insert-on-miss\n"
+        "hardware cache: it never wastes NVRAM bandwidth on fills for\n"
+        "one-touch tail rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy installer shim for offline environments without `wheel`.
+
+`pip install -e .` is the preferred route; this file lets
+`python setup.py develop` work when pip's build isolation cannot
+download setuptools/wheel.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "repro-experiment = repro.experiments.cli:main",
+        ]
+    }
+)

@@ -1,0 +1,32 @@
+"""AutoTM: software-managed tensor placement for heterogeneous memory.
+
+Reproduces Hildebrand et al.'s AutoTM (ASPLOS'20) as the paper's CNN
+mitigation strategy (Section VII-A1): a profile-guided integer linear
+program decides, for every intermediate tensor, whether it lives in
+DRAM, lives in NVRAM, or is *stashed* — written to NVRAM after its last
+forward use and prefetched back before its backward use.  The executor
+then runs the training schedule in 1LM (app-direct) with explicit,
+synchronous data movement, eliding every unnecessary dirty write-back
+the hardware cache would have generated.
+"""
+
+from repro.autotm.model import (
+    PlacementMode,
+    PlacementPlan,
+    PlacementProblem,
+    TensorPlacement,
+)
+from repro.autotm.ilp import solve_ilp
+from repro.autotm.greedy import solve_greedy
+from repro.autotm.executor import AutoTMResult, execute_autotm
+
+__all__ = [
+    "AutoTMResult",
+    "PlacementMode",
+    "PlacementPlan",
+    "PlacementProblem",
+    "TensorPlacement",
+    "execute_autotm",
+    "solve_greedy",
+    "solve_ilp",
+]

@@ -1,0 +1,187 @@
+"""Alternative DRAM-cache designs for ablation studies.
+
+The paper's first identified limitation is that the cache is
+*direct-mapped and insert-on-miss* (Section I).  To quantify how much of
+the observed pathology is due to that design point versus inherent to a
+hardware cache, the ablation benchmarks compare the real design against:
+
+* :class:`SetAssociativeCache` — same protocol, LRU associativity, which
+  removes conflict misses but keeps the tag-check and fill traffic.
+* ``DirectMappedCache(insert_on_write_miss=False)`` — a write-around
+  variant that avoids the wasteful fill-on-write-miss.
+* ``DirectMappedCache(ddo_enabled=False)`` — measures how much the
+  Dirty Data Optimization actually saves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.cache.base import as_lines
+from repro.errors import ConfigurationError
+from repro.memsys.counters import TagStats, Traffic
+from repro.units import CACHE_LINE
+
+_INVALID = np.int64(-1)
+
+
+class SetAssociativeCache:
+    """An LRU set-associative DRAM cache following the same IMC protocol.
+
+    Identical access costs to the direct-mapped design (tag check on
+    every non-DDO request, insert on miss, dirty write-back) — only the
+    mapping flexibility changes, isolating the effect of conflict misses.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        *,
+        ways: int = 8,
+        ddo_enabled: bool = True,
+    ) -> None:
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive, got {ways}")
+        if capacity % (line_size * ways):
+            raise ConfigurationError(
+                f"capacity {capacity} is not divisible into {ways}-way sets"
+            )
+        self.capacity = capacity
+        self.line_size = line_size
+        self.ways = ways
+        self.num_sets = capacity // (line_size * ways)
+        self.ddo_enabled = ddo_enabled
+        self._tags = np.full((self.num_sets, ways), _INVALID, dtype=np.int64)
+        self._dirty = np.zeros((self.num_sets, ways), dtype=bool)
+        self._known_resident = np.zeros((self.num_sets, ways), dtype=bool)
+        self._stamp = np.zeros((self.num_sets, ways), dtype=np.int64)
+        self._clock = np.int64(0)
+
+    def reset(self) -> None:
+        self._tags.fill(_INVALID)
+        self._dirty.fill(False)
+        self._known_resident.fill(False)
+        self._stamp.fill(0)
+        self._clock = np.int64(0)
+
+    def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
+        sets = lines % self.num_sets
+        remaining = np.arange(lines.size, dtype=np.int64)
+        while remaining.size:
+            _, first = np.unique(sets[remaining], return_index=True)
+            if first.size == remaining.size:
+                yield remaining
+                return
+            first.sort()
+            yield remaining[first]
+            keep = np.ones(remaining.size, dtype=bool)
+            keep[first] = False
+            remaining = remaining[keep]
+
+    def _lookup(self, sets: np.ndarray, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (hit mask, way index) — way is the hit way or LRU victim."""
+        tags = self._tags[sets]  # (n, ways)
+        matches = tags == lines[:, None]
+        hit = matches.any(axis=1)
+        hit_way = matches.argmax(axis=1)
+        victim_way = self._stamp[sets].argmin(axis=1)
+        way = np.where(hit, hit_way, victim_way)
+        return hit, way
+
+    def _touch(self, sets: np.ndarray, way: np.ndarray) -> None:
+        self._clock += 1
+        self._stamp[sets, way] = self._clock
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = int(lines.size)
+        for index in self._rounds(lines):
+            self._read_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        hit, way = self._lookup(sets, lines)
+        miss = ~hit
+        dirty_victim = miss & self._dirty[sets, way]
+
+        n = int(lines.size)
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_victim.sum())
+
+        traffic.dram_reads += n
+        traffic.nvram_reads += n_miss
+        traffic.dram_writes += n_miss
+        traffic.nvram_writes += n_dirty
+        tags.hits += n - n_miss
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+
+        miss_sets, miss_way = sets[miss], way[miss]
+        self._tags[miss_sets, miss_way] = lines[miss]
+        self._dirty[miss_sets, miss_way] = False
+        self._known_resident[sets, way] = True
+        self._touch(sets, way)
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = int(lines.size)
+        for index in self._rounds(lines):
+            self._write_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        hit, way = self._lookup(sets, lines)
+
+        if self.ddo_enabled:
+            ddo = hit & self._known_resident[sets, way]
+        else:
+            ddo = np.zeros(lines.size, dtype=bool)
+        checked = ~ddo
+        checked_hit = hit & checked
+        miss = checked & ~hit
+        dirty_victim = miss & self._dirty[sets, way]
+
+        n_ddo = int(ddo.sum())
+        n_hit = int(checked_hit.sum())
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_victim.sum())
+
+        traffic.dram_writes += n_ddo
+        tags.ddo_writes += n_ddo
+
+        traffic.dram_reads += int(checked.sum())
+        tags.hits += n_hit
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+        traffic.dram_writes += n_hit
+
+        traffic.nvram_writes += n_dirty
+        traffic.nvram_reads += n_miss
+        traffic.dram_writes += 2 * n_miss
+
+        write_mask = hit | miss  # everything lands in the cache
+        self._dirty[sets[write_mask], way[write_mask]] = True
+        miss_sets, miss_way = sets[miss], way[miss]
+        self._tags[miss_sets, miss_way] = lines[miss]
+        self._known_resident[miss_sets, miss_way] = False
+        self._touch(sets, way)
+
+    def contains(self, lines: np.ndarray) -> np.ndarray:
+        lines = as_lines(lines)
+        sets = lines % self.num_sets
+        return (self._tags[sets] == lines[:, None]).any(axis=1)
+
+    @property
+    def occupancy(self) -> float:
+        return float((self._tags != _INVALID).mean())
+
+    @property
+    def dirty_fraction(self) -> float:
+        return float(self._dirty.mean())

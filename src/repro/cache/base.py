@@ -1,0 +1,39 @@
+"""Common cache-model interface.
+
+The IMC sees exactly two request kinds from the LLC (Section IV-A):
+
+* **LLC read** — a load or RFO miss at the LLC requesting a line.
+* **LLC write** — a dirty-line eviction from the LLC or a nontemporal
+  store writing a line back.
+
+A cache model consumes batches of line addresses for each kind and
+returns the device traffic and tag events they generate.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple
+
+import numpy as np
+
+from repro.memsys.counters import AccessKind, TagStats, Traffic, as_lines
+
+__all__ = ["AccessKind", "CacheModel", "as_lines"]
+
+
+class CacheModel(Protocol):
+    """Anything that can stand in for the 2LM DRAM cache."""
+
+    num_sets: int
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        """Process a batch of LLC read requests, in order."""
+        ...
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        """Process a batch of LLC write-back requests, in order."""
+        ...
+
+    def reset(self) -> None:
+        """Invalidate all cached state."""
+        ...

@@ -1,0 +1,237 @@
+"""Vectorized direct-mapped 2LM DRAM cache.
+
+Implements exactly the protocol documented in :mod:`repro.cache.flow`
+(the Figure-3 flowchart), but processes whole batches of line addresses
+with numpy.  A batch is decomposed into *rounds*: within one round every
+request maps to a distinct set, so state updates are independent and can
+be applied with array operations; requests that collide on a set are
+deferred to later rounds in their original relative order.  The result
+is bit-for-bit equivalent to processing the batch one access at a time
+(property-tested against :class:`~repro.cache.flow.ReferenceCache`).
+
+Tag storage: the real hardware keeps the tag plus line state in the
+spare ECC bits of each DRAM line (Section IV, Intel patent US 9563564).
+We store the *full line address* as the tag, which is equivalent for a
+direct-mapped cache and keeps the model exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.cache.base import as_lines
+from repro.errors import ConfigurationError
+from repro.memsys.counters import TagStats, Traffic
+from repro.units import CACHE_LINE
+
+_INVALID = np.int64(-1)
+
+
+class DirectMappedCache:
+    """The Cascade Lake 2LM DRAM cache.
+
+    Parameters
+    ----------
+    capacity:
+        Cache capacity in bytes (e.g. the socket's 192 GiB of DRAM).
+    line_size:
+        Cache-line size; 64 B on the real hardware.
+    ddo_enabled:
+        Model the Dirty Data Optimization (Section IV-C).  Disable for
+        the ablation study.
+    insert_on_write_miss:
+        The real controller always inserts on a miss, even for writes
+        that fully overwrite the line (Section IV-B).  Disabling gives
+        the "write-around" design variant for ablations.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        *,
+        ddo_enabled: bool = True,
+        insert_on_write_miss: bool = True,
+    ) -> None:
+        if line_size <= 0 or capacity < line_size:
+            raise ConfigurationError(
+                f"cache needs at least one {line_size}B line, got {capacity} bytes"
+            )
+        if capacity % line_size:
+            raise ConfigurationError("capacity must be a whole number of lines")
+        self.capacity = capacity
+        self.line_size = line_size
+        self.num_sets = capacity // line_size
+        self.ddo_enabled = ddo_enabled
+        self.insert_on_write_miss = insert_on_write_miss
+        self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
+        self._dirty = np.zeros(self.num_sets, dtype=bool)
+        self._known_resident = np.zeros(self.num_sets, dtype=bool)
+
+    def reset(self) -> None:
+        """Invalidate every set."""
+        self._tags.fill(_INVALID)
+        self._dirty.fill(False)
+        self._known_resident.fill(False)
+
+    # -- batch decomposition --------------------------------------------------
+
+    def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
+        """Split a batch into rounds with pairwise-distinct sets.
+
+        Yields index arrays into ``lines``.  Occurrences of the same set
+        appear in successive rounds in their original order, so applying
+        each round's updates atomically is sequentially consistent.
+        """
+        sets = lines % self.num_sets
+        remaining = np.arange(lines.size, dtype=np.int64)
+        while remaining.size:
+            _, first = np.unique(sets[remaining], return_index=True)
+            if first.size == remaining.size:
+                yield remaining
+                return
+            first.sort()
+            yield remaining[first]
+            keep = np.ones(remaining.size, dtype=bool)
+            keep[first] = False
+            remaining = remaining[keep]
+
+    # -- LLC read --------------------------------------------------------------
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        """Process a batch of LLC read requests (loads and RFOs)."""
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = int(lines.size)
+        for index in self._rounds(lines):
+            self._read_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        resident = self._tags[sets]
+        hit = resident == lines
+        miss = ~hit
+        dirty_miss = miss & self._dirty[sets]
+
+        n = int(lines.size)
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_miss.sum())
+
+        # Every LLC read fetches tag+data from DRAM (the tag check).
+        traffic.dram_reads += n
+        # Miss handler: NVRAM fetch + DRAM insert, write-back if dirty.
+        traffic.nvram_reads += n_miss
+        traffic.dram_writes += n_miss
+        traffic.nvram_writes += n_dirty
+
+        tags.hits += n - n_miss
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+
+        miss_sets = sets[miss]
+        self._tags[miss_sets] = lines[miss]
+        self._dirty[miss_sets] = False
+        # A demand read has now checked every one of these tags.
+        self._known_resident[sets] = True
+
+    # -- LLC write ---------------------------------------------------------------
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        """Process a batch of LLC write-backs (dirty evictions / NT stores)."""
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = int(lines.size)
+        for index in self._rounds(lines):
+            self._write_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        resident = self._tags[sets]
+        match = resident == lines
+
+        if self.ddo_enabled:
+            ddo = match & self._known_resident[sets]
+        else:
+            ddo = np.zeros(lines.size, dtype=bool)
+        checked = ~ddo
+
+        hit = match & checked
+        miss = checked & ~match
+        dirty_miss = miss & self._dirty[sets]
+
+        n_ddo = int(ddo.sum())
+        n_checked = int(checked.sum())
+        n_hit = int(hit.sum())
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_miss.sum())
+
+        # DDO writes go straight to DRAM: one access, no tag check.
+        traffic.dram_writes += n_ddo
+        tags.ddo_writes += n_ddo
+        self._dirty[sets[ddo]] = True
+
+        # Everything else performs a tag check first.
+        traffic.dram_reads += n_checked
+        tags.hits += n_hit
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+
+        # Write hits update the line in place.
+        traffic.dram_writes += n_hit
+        self._dirty[sets[hit]] = True
+
+        if self.insert_on_write_miss:
+            # Always-insert: write back the evicted line if dirty, then
+            # NVRAM fetch + DRAM insert + the data write.
+            traffic.nvram_writes += n_dirty
+            traffic.nvram_reads += n_miss
+            traffic.dram_writes += 2 * n_miss
+            miss_sets = sets[miss]
+            self._tags[miss_sets] = lines[miss]
+            self._dirty[miss_sets] = True
+            # Installed by a write: no demand read has checked this tag.
+            self._known_resident[miss_sets] = False
+        else:
+            # Write-around variant: send the incoming line straight to
+            # NVRAM; the set's occupant is left untouched.
+            traffic.nvram_writes += n_miss
+
+    # -- priming and introspection --------------------------------------------
+
+    def prime(self, lines: np.ndarray, *, dirty: bool, known_resident: bool = False) -> None:
+        """Install lines directly, bypassing traffic accounting.
+
+        Experiment setup helper: the paper primes the cache by running
+        warm-up iterations; ``prime`` produces the same state instantly.
+        Later occupants of a set win, as they would under real accesses.
+        """
+        lines = as_lines(lines)
+        sets = lines % self.num_sets
+        self._tags[sets] = lines
+        self._dirty[sets] = dirty
+        self._known_resident[sets] = known_resident
+
+    def contains(self, lines: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``lines`` are currently cached."""
+        lines = as_lines(lines)
+        return self._tags[lines % self.num_sets] == lines
+
+    def is_dirty(self, lines: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``lines`` are cached *and* dirty."""
+        lines = as_lines(lines)
+        sets = lines % self.num_sets
+        return (self._tags[sets] == lines) & self._dirty[sets]
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of sets holding a valid line."""
+        return float((self._tags != _INVALID).mean())
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of sets holding a dirty line."""
+        return float(self._dirty.mean())

@@ -1,0 +1,171 @@
+"""Scalar reference implementation of the Figure-3 IMC flowchart.
+
+This is the paper's reverse-engineered DRAM-cache logic written as the
+most literal possible Python, one access at a time.  It exists to (a)
+document the protocol and (b) serve as the ground truth the vectorized
+:class:`~repro.cache.direct_mapped.DirectMappedCache` is property-tested
+against.
+
+Figure 3, in words:
+
+**LLC read.**  The IMC always issues a DRAM read, fetching data plus the
+tag stored in the ECC bits.  If the tag matches, the data is forwarded —
+one access total.  On a miss the *miss handler* runs: read the requested
+line from NVRAM, insert it into the DRAM cache (a DRAM write), and if
+the line it displaces is dirty, write that line back to NVRAM.
+
+**LLC write.**  If the Dirty Data Optimization applies, the write is
+forwarded straight to DRAM with no tag check — one access total.
+Otherwise the IMC first issues a DRAM read for a tag check.  On a hit
+the line is updated in place (one more DRAM write).  On a miss the same
+miss handler runs — the controller *always inserts on a miss*, even for
+a write that fully overwrites the line (Section IV-B's key finding) —
+and then the incoming line is written to DRAM, for up to five accesses.
+
+**Dirty Data Optimization (Section IV-C).**  Observed with the
+read-modify-write benchmark: when a line was brought into the DRAM
+cache by an earlier demand read, the eventual LLC write-back of that
+line skips its tag check.  The paper could not identify the exact
+hardware mechanism (it is not an inclusive directory); we model it as a
+"known resident" bit set by any tag-checked read of the line and cleared
+whenever the set's occupant changes without a read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cache.base import as_lines
+from repro.memsys.counters import TagStats, Traffic
+
+
+@dataclass
+class SetState:
+    """Contents of one direct-mapped set."""
+
+    tag: int
+    dirty: bool
+    #: DDO eligibility: a demand read has checked this line's tag since
+    #: it was installed.
+    known_resident: bool
+
+
+class ReferenceCache:
+    """One-access-at-a-time model of the 2LM DRAM cache.
+
+    Semantically identical to ``DirectMappedCache`` (the vectorized
+    engine), just slow and obvious.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        *,
+        ddo_enabled: bool = True,
+        insert_on_write_miss: bool = True,
+    ) -> None:
+        if num_sets <= 0:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        self.num_sets = num_sets
+        self.ddo_enabled = ddo_enabled
+        self.insert_on_write_miss = insert_on_write_miss
+        self._sets: Dict[int, SetState] = {}
+
+    def reset(self) -> None:
+        self._sets.clear()
+
+    # -- single-access protocol -------------------------------------------
+
+    def _read_one(self, line: int, traffic: Traffic, tags: TagStats) -> None:
+        index = line % self.num_sets
+        state = self._sets.get(index)
+
+        traffic.dram_reads += 1  # fetch tag and data, check tag
+        if state is not None and state.tag == line:
+            tags.hits += 1
+            state.known_resident = True
+            return
+
+        # Miss handler (shared with writes, Figure 3 right side).
+        if state is not None and state.dirty:
+            tags.dirty_misses += 1
+            traffic.nvram_writes += 1  # write back evicted dirty line
+        else:
+            tags.clean_misses += 1
+        traffic.nvram_reads += 1  # fetch requested line
+        traffic.dram_writes += 1  # insert into cache
+        self._sets[index] = SetState(tag=line, dirty=False, known_resident=True)
+
+    def _write_one(self, line: int, traffic: Traffic, tags: TagStats) -> None:
+        index = line % self.num_sets
+        state = self._sets.get(index)
+
+        if (
+            self.ddo_enabled
+            and state is not None
+            and state.tag == line
+            and state.known_resident
+        ):
+            # Dirty Data Optimization: no tag check, direct DRAM write.
+            tags.ddo_writes += 1
+            traffic.dram_writes += 1
+            state.dirty = True
+            return
+
+        traffic.dram_reads += 1  # tag check
+        if state is not None and state.tag == line:
+            tags.hits += 1
+            traffic.dram_writes += 1  # update data in place
+            state.dirty = True
+            return
+
+        if state is not None and state.dirty:
+            tags.dirty_misses += 1
+        else:
+            tags.clean_misses += 1
+
+        if self.insert_on_write_miss:
+            # The controller always inserts on a miss: write back the
+            # evicted line if dirty, fetch the requested line from NVRAM
+            # and install it, *then* overwrite it.
+            if state is not None and state.dirty:
+                traffic.nvram_writes += 1
+            traffic.nvram_reads += 1
+            traffic.dram_writes += 1  # insert
+            traffic.dram_writes += 1  # actual write of the incoming line
+            self._sets[index] = SetState(tag=line, dirty=True, known_resident=False)
+        else:
+            # Ablation variant: write around the cache straight to
+            # NVRAM; the set's occupant is left untouched.
+            traffic.nvram_writes += 1
+
+    # -- batch interface ----------------------------------------------------
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        for line in lines.tolist():
+            self._read_one(line, traffic, tags)
+        traffic.demand_reads = lines.size
+        return traffic, tags
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        for line in lines.tolist():
+            self._write_one(line, traffic, tags)
+        traffic.demand_writes = lines.size
+        return traffic, tags
+
+    # -- introspection (for tests) -------------------------------------------
+
+    def contains(self, line: int) -> bool:
+        state = self._sets.get(line % self.num_sets)
+        return state is not None and state.tag == line
+
+    def is_dirty(self, line: int) -> bool:
+        state = self._sets.get(line % self.num_sets)
+        return state is not None and state.tag == line and state.dirty

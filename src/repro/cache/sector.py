@@ -1,0 +1,203 @@
+"""Sector (footprint) DRAM cache — the die-stacked-cache lineage.
+
+The paper's related work (Section II) cites page-granularity DRAM-cache
+proposals (Unison, Footprint Cache) that amortize tag storage over large
+sectors and fetch only the lines a page's *footprint* predicts.  This
+model captures their bandwidth behaviour:
+
+* The cache is direct-mapped at **sector** granularity (default 2 KiB);
+  one tag covers the whole sector, with per-line valid and dirty bits.
+* A demand miss to a cached sector ("line miss") fetches just that line.
+* A sector miss evicts the old sector (writing back only its dirty
+  lines) and fetches a ``footprint`` of lines starting at the demand
+  line — the predicted-footprint fetch.
+* Writes follow the same always-insert IMC protocol as the baseline.
+
+Compared with the Cascade Lake design, sector caches trade conflict
+behaviour (fewer, larger sets) for spatial prefetch and cheaper tags.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.cache.base import as_lines
+from repro.errors import ConfigurationError
+from repro.memsys.counters import TagStats, Traffic
+from repro.units import CACHE_LINE
+
+_INVALID = np.int64(-1)
+
+
+class SectorCache:
+    """Direct-mapped sector cache with footprint fetch."""
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        *,
+        sector_lines: int = 32,
+        footprint: int = 4,
+    ) -> None:
+        if sector_lines < 1 or footprint < 1:
+            raise ConfigurationError("sector_lines and footprint must be >= 1")
+        if footprint > sector_lines:
+            raise ConfigurationError("footprint cannot exceed the sector size")
+        sector_bytes = sector_lines * line_size
+        if capacity < sector_bytes or capacity % sector_bytes:
+            raise ConfigurationError(
+                f"capacity must be a positive multiple of the {sector_bytes}B sector"
+            )
+        self.capacity = capacity
+        self.line_size = line_size
+        self.sector_lines = sector_lines
+        self.footprint = footprint
+        self.num_sets = capacity // sector_bytes  # sector-granularity sets
+        self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
+        self._valid = np.zeros((self.num_sets, sector_lines), dtype=bool)
+        self._dirty = np.zeros((self.num_sets, sector_lines), dtype=bool)
+
+    def reset(self) -> None:
+        self._tags.fill(_INVALID)
+        self._valid.fill(False)
+        self._dirty.fill(False)
+
+    # -- geometry ----------------------------------------------------------
+
+    def _decompose(self, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sector = lines // self.sector_lines
+        offset = lines - sector * self.sector_lines
+        index = sector % self.num_sets
+        return sector, offset, index
+
+    def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
+        index = (lines // self.sector_lines) % self.num_sets
+        remaining = np.arange(lines.size, dtype=np.int64)
+        while remaining.size:
+            _, first = np.unique(index[remaining], return_index=True)
+            if first.size == remaining.size:
+                yield remaining
+                return
+            first.sort()
+            yield remaining[first]
+            keep = np.ones(remaining.size, dtype=bool)
+            keep[first] = False
+            remaining = remaining[keep]
+
+    # -- shared miss machinery ------------------------------------------------
+
+    def _install_sector(
+        self, index: np.ndarray, sector: np.ndarray, traffic: Traffic
+    ) -> None:
+        """Evict old sectors (dirty lines only) and install fresh tags."""
+        dirty_lines = self._dirty[index].sum(axis=1)
+        traffic.nvram_writes += int(dirty_lines.sum())
+        self._tags[index] = sector
+        self._valid[index] = False
+        self._dirty[index] = False
+
+    def _footprint_fill(
+        self, index: np.ndarray, offset: np.ndarray, traffic: Traffic
+    ) -> None:
+        """Fetch ``footprint`` lines starting at the demand offset.
+
+        Already-valid lines in the window are not refetched.
+        """
+        span = np.minimum(self.footprint, self.sector_lines - offset)
+        cols = np.arange(self.sector_lines)
+        window = (cols[None, :] >= offset[:, None]) & (
+            cols[None, :] < (offset + span)[:, None]
+        )
+        fresh = window & ~self._valid[index]
+        fetched = int(fresh.sum())
+        traffic.nvram_reads += fetched
+        traffic.dram_writes += fetched
+        self._valid[index] |= window
+
+    # -- LLC interface ---------------------------------------------------------
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = int(lines.size)
+        for idx in self._rounds(lines):
+            self._read_round(lines[idx], traffic, tags)
+        return traffic, tags
+
+    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sector, offset, index = self._decompose(lines)
+        tag_match = self._tags[index] == sector
+        line_valid = tag_match & self._valid[index, offset]
+
+        traffic.dram_reads += int(lines.size)  # tag + data probe
+        hits = line_valid
+        tags.hits += int(hits.sum())
+
+        # Line miss within a cached sector: footprint fetch from the
+        # demand line (the footprint predictor keeps streaming ahead).
+        line_miss = tag_match & ~line_valid
+        n_line_miss = int(line_miss.sum())
+        if n_line_miss:
+            self._footprint_fill(index[line_miss], offset[line_miss], traffic)
+        tags.clean_misses += n_line_miss
+
+        # Sector miss: evict + footprint fetch.
+        sector_miss = ~tag_match
+        if sector_miss.any():
+            miss_index = index[sector_miss]
+            dirty_victims = self._dirty[miss_index].any(axis=1)
+            tags.dirty_misses += int(dirty_victims.sum())
+            tags.clean_misses += int((~dirty_victims).sum())
+            self._install_sector(miss_index, sector[sector_miss], traffic)
+            self._footprint_fill(miss_index, offset[sector_miss], traffic)
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = int(lines.size)
+        for idx in self._rounds(lines):
+            self._write_round(lines[idx], traffic, tags)
+        return traffic, tags
+
+    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sector, offset, index = self._decompose(lines)
+        tag_match = self._tags[index] == sector
+
+        traffic.dram_reads += int(lines.size)  # tag check
+        hits = tag_match
+        tags.hits += int(hits.sum())
+        # Hit (sector resident): write the line, mark valid+dirty.
+        traffic.dram_writes += int(hits.sum())
+        self._valid[index[hits], offset[hits]] = True
+        self._dirty[index[hits], offset[hits]] = True
+
+        miss = ~tag_match
+        if miss.any():
+            miss_index = index[miss]
+            dirty_victims = self._dirty[miss_index].any(axis=1)
+            tags.dirty_misses += int(dirty_victims.sum())
+            tags.clean_misses += int((~dirty_victims).sum())
+            self._install_sector(miss_index, sector[miss], traffic)
+            # Install the written line directly; no fetch needed since
+            # the incoming store fully overwrites it.
+            traffic.dram_writes += int(miss.sum())
+            self._valid[miss_index, offset[miss]] = True
+            self._dirty[miss_index, offset[miss]] = True
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, lines: np.ndarray) -> np.ndarray:
+        lines = as_lines(lines)
+        sector, offset, index = self._decompose(lines)
+        return (self._tags[index] == sector) & self._valid[index, offset]
+
+    @property
+    def occupancy(self) -> float:
+        return float(self._valid.mean())
+
+    @property
+    def dirty_fraction(self) -> float:
+        return float(self._dirty.mean())

@@ -1,0 +1,13 @@
+"""CPU-side models: last-level cache behaviour and instruction accounting.
+
+The simulator models the CPU only where it shapes IMC-visible traffic:
+which program operations become LLC reads (loads, RFOs) versus LLC
+writes (dirty evictions, nontemporal stores), and how long dirtied lines
+linger in the LLC before being written back — the delay behind the
+Dirty Data Optimization (Section IV-C).
+"""
+
+from repro.cpu.llc import LLCModel, WritebackQueue
+from repro.cpu.cores import retired_instructions
+
+__all__ = ["LLCModel", "WritebackQueue", "retired_instructions"]

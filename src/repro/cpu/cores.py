@@ -1,0 +1,19 @@
+"""Retired-instruction accounting for the MIPS traces (Figure 5a).
+
+The paper plots system-wide retired instructions per second alongside
+memory traffic to show compute throughput collapsing with the DRAM-cache
+hit rate.  We charge a configurable number of instructions per byte of
+demand traffic for memory-bound phases, and compute-bound kernels charge
+their own instruction counts directly.
+"""
+
+from __future__ import annotations
+
+from repro.config import CPUConfig
+
+
+def retired_instructions(demand_bytes: int, cpu: CPUConfig) -> int:
+    """Instructions retired while moving ``demand_bytes`` of demand data."""
+    if demand_bytes < 0:
+        raise ValueError("demand_bytes must be non-negative")
+    return int(demand_bytes * cpu.instructions_per_byte)

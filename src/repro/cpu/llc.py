@@ -1,0 +1,78 @@
+"""Last-level cache model.
+
+For the buffer sizes the paper studies (tens to hundreds of GB against a
+33 MB LLC), every fresh load misses the LLC, so the interesting LLC
+behaviour reduces to two effects the IMC can observe:
+
+* a *standard* store to a line not present in the LLC triggers a
+  Read-For-Ownership — an extra LLC read;
+* dirtied lines are written back *later*, once roughly an LLC's worth of
+  newer data has streamed through — the temporal gap that makes the
+  Dirty Data Optimization observable (Section IV-C).
+
+:class:`WritebackQueue` models that delayed eviction: writes are queued
+and released in FIFO order once the backlog exceeds the LLC capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.config import CPUConfig
+from repro.units import CACHE_LINE
+
+
+class LLCModel:
+    """Capacity-only LLC model."""
+
+    def __init__(self, config: CPUConfig, line_size: int = CACHE_LINE) -> None:
+        self.config = config
+        self.line_size = line_size
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.config.llc_capacity // self.line_size
+
+    def fits(self, nbytes: int) -> bool:
+        """Would a working set of ``nbytes`` stay resident in the LLC?"""
+        return nbytes <= self.config.llc_capacity
+
+
+class WritebackQueue:
+    """FIFO of dirtied lines awaiting eviction from the LLC.
+
+    ``push`` enqueues a batch of freshly dirtied lines and yields any
+    batches that the incoming data displaces; ``drain`` flushes the rest
+    (e.g. at the end of a benchmark, or on an explicit flush).
+    """
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_lines = capacity_lines
+        self._pending: deque[np.ndarray] = deque()
+        self._pending_lines = 0
+
+    def __len__(self) -> int:
+        return self._pending_lines
+
+    def push(self, lines: np.ndarray) -> List[np.ndarray]:
+        """Enqueue dirtied lines; return batches evicted by the pressure."""
+        self._pending.append(lines)
+        self._pending_lines += int(lines.size)
+        evicted: List[np.ndarray] = []
+        while self._pending_lines > self.capacity_lines and self._pending:
+            batch = self._pending.popleft()
+            self._pending_lines -= int(batch.size)
+            evicted.append(batch)
+        return evicted
+
+    def drain(self) -> Iterator[np.ndarray]:
+        """Flush all pending write-backs in FIFO order."""
+        while self._pending:
+            batch = self._pending.popleft()
+            self._pending_lines -= int(batch.size)
+            yield batch

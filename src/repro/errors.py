@@ -1,0 +1,19 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A platform or workload configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid state."""
+
+
+class SolverError(ReproError):
+    """The AutoTM placement solver failed to produce a feasible plan."""

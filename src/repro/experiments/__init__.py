@@ -1,0 +1,12 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Every experiment exposes ``run(quick=False) -> ExperimentResult`` and is
+registered in :mod:`repro.experiments.registry`; the ``repro-experiment``
+CLI runs them by name and prints text renderings of the paper's tables
+and figures.  ``quick=True`` shrinks workload sizes for CI.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment", "run_experiment"]

@@ -1,0 +1,61 @@
+"""Shared (cached) CNN runs for the AutoTM experiments (Fig. 10, Table II)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.autotm import PlacementProblem, execute_autotm, solve_greedy, solve_ilp
+from repro.autotm.executor import AutoTMResult
+from repro.cache import DirectMappedCache
+from repro.errors import ConfigurationError, SolverError
+from repro.experiments.platform import CNN_STRIDE, cnn_platform_for, training_setup
+from repro.memsys import CachedBackend
+from repro.nn import execute_iteration
+from repro.nn.executor import ExecutionResult
+
+#: Fraction of the socket's DRAM handed to AutoTM (headroom for
+#: first-fit fragmentation, as in real AutoTM budgets).
+AUTOTM_BUDGET_FRACTION = 0.8
+
+
+@lru_cache(maxsize=8)
+def run_2lm(network: str, quick: bool = False) -> ExecutionResult:
+    """One measured 2LM training iteration (after one warm-up)."""
+    platform = cnn_platform_for(quick)
+    training, plan = training_setup(network, quick)
+    cache = DirectMappedCache(platform.socket.dram_capacity)
+    backend = CachedBackend(platform, cache)
+    execute_iteration(plan, backend, sample_stride=CNN_STRIDE)  # warm-up
+    return execute_iteration(plan, backend, sample_stride=CNN_STRIDE)
+
+
+@lru_cache(maxsize=8)
+def run_autotm(network: str, quick: bool = False, solver: str = "ilp") -> AutoTMResult:
+    """One AutoTM training iteration using the chosen solver.
+
+    The placement budget leaves headroom for first-fit fragmentation; if
+    the physical pool still overflows, the budget backs off and the
+    problem is re-solved — the same outer loop a practitioner runs.
+    """
+    platform = cnn_platform_for(quick)
+    training, _ = training_setup(network, quick)
+    last_error: Exception | None = None
+    for fraction in (AUTOTM_BUDGET_FRACTION, 0.65, 0.5, 0.35):
+        budget = int(platform.socket.dram_capacity * fraction)
+        problem = PlacementProblem.build(training, platform, budget, capacity_stride=4)
+        if solver == "ilp":
+            try:
+                plan = solve_ilp(problem, time_limit=30.0 if quick else 120.0)
+            except SolverError:
+                plan = solve_greedy(problem)
+        elif solver == "greedy":
+            plan = solve_greedy(problem)
+        else:
+            raise KeyError(f"unknown solver {solver!r}")
+        try:
+            return execute_autotm(training, plan, platform, sample_stride=CNN_STRIDE)
+        except ConfigurationError as error:
+            last_error = error
+    raise ConfigurationError(
+        f"AutoTM could not fit {network} in DRAM at any budget"
+    ) from last_error

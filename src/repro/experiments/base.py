@@ -1,0 +1,28 @@
+"""Common result type for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``data`` holds the structured numbers (asserted by tests and
+    benchmarks); ``sections`` holds rendered text blocks (printed by the
+    CLI).
+    """
+
+    name: str
+    title: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    sections: List[str] = field(default_factory=list)
+
+    def add(self, section: str) -> None:
+        self.sections.append(section)
+
+    def render(self) -> str:
+        header = f"=== {self.name}: {self.title} ==="
+        return "\n\n".join([header, *self.sections])

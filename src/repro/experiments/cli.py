@@ -1,0 +1,73 @@
+"""``repro-experiment`` command-line entry point.
+
+Usage::
+
+    repro-experiment list
+    repro-experiment fig2 [--quick]
+    repro-experiment all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate tables and figures from 'A Case Against Hardware "
+            "Managed DRAM Caches for NVRAM Based Systems' (ISPASS 2021)"
+        ),
+    )
+    parser.add_argument(
+        "name",
+        help="experiment name, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink workload sizes for a fast smoke run",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also export each result as JSON into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.name == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    if args.name != "all" and args.name not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.name!r}; run 'repro-experiment list'"
+        )
+
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, quick=args.quick)
+        print(result.render())
+        if args.json:
+            from pathlib import Path
+
+            from repro.perf.export import export_result
+
+            directory = Path(args.json)
+            directory.mkdir(parents=True, exist_ok=True)
+            written = export_result(result, directory / f"{name}.json")
+            print(f"[exported {written}]")
+        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

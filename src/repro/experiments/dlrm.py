@@ -1,0 +1,99 @@
+"""Extension case study: DLRM-style embedding lookups.
+
+The paper's introduction motivates NVRAM capacity with recommendation
+models (DLRM) and cites Bandana as software NVM management for them,
+but its evaluation stops at CNNs and graphs.  This experiment completes
+the triptych: Zipf-skewed embedding gathers over tables ~5x the DRAM
+cache, in 2LM vs Bandana-style popularity placement vs bare NVRAM, for
+inference and training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import cnn_platform_for
+from repro.perf.report import render_table
+from repro.recsys import (
+    EmbeddingModel,
+    generate_trace,
+    plan_hot_rows,
+    run_recsys,
+)
+from repro.units import format_bytes
+
+#: Placement budget: most of one socket's DRAM, as Bandana would use.
+BUDGET_FRACTION = 0.9
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    platform = cnn_platform_for(quick)
+    # Size the model ~5x the DRAM cache, mirroring the paper's
+    # footprint-to-cache ratios.
+    rows = int(
+        5 * platform.socket.dram_capacity / (26 * 64 * 4)
+    )
+    model = EmbeddingModel.dlrm_like(num_tables=26, rows_per_table=max(1024, rows))
+    batches = 8 if quick else 30
+    profile = generate_trace(model, batch_size=128, num_batches=max(4, batches // 3), seed=1)
+    trace = generate_trace(model, batch_size=128, num_batches=batches, seed=2)
+    placement = plan_hot_rows(
+        model, profile, int(platform.socket.dram_capacity * BUDGET_FRACTION)
+    )
+
+    result = ExperimentResult(
+        name="dlrm",
+        title="Recommendation-model embedding lookups (extension case study)",
+    )
+    result.add(
+        f"model {format_bytes(model.size_bytes)} across 26 tables vs "
+        f"{format_bytes(platform.socket.dram_capacity)} DRAM; "
+        f"placement pins {format_bytes(placement.hot_bytes)} of hot rows "
+        f"(expected DRAM hit fraction {placement.expected_hit_fraction(trace):.2f})"
+    )
+
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for phase, training in (("inference", False), ("training", True)):
+        rows_out = []
+        data[phase] = {}
+        for mode, kwargs in (
+            ("2lm", {}),
+            ("bandana", {"placement": placement}),
+            ("nvram", {}),
+        ):
+            run_result = run_recsys(
+                model, trace, platform, mode=mode, training=training, **kwargs
+            )
+            throughput = run_result.samples_per_second
+            rows_out.append(
+                [
+                    mode,
+                    f"{throughput:.0f}",
+                    f"{run_result.dram_hit_fraction:.2f}",
+                    f"{run_result.traffic.amplification:.2f}x",
+                    f"{run_result.traffic.nvram_writes}",
+                ]
+            )
+            data[phase][mode] = {
+                "samples_per_second": throughput,
+                "hit_fraction": run_result.dram_hit_fraction,
+                "amplification": run_result.traffic.amplification,
+                "nvram_writes": run_result.traffic.nvram_writes,
+                "nvram_reads": run_result.traffic.nvram_reads,
+            }
+        result.add(
+            render_table(
+                ["mode", "samples/s", "DRAM hit", "amp", "NVRAM write lines"],
+                rows_out,
+                title=f"Embedding {phase} (virtual throughput)",
+            )
+        )
+
+    for phase in data:
+        data[phase]["bandana_speedup_over_2lm"] = (
+            data[phase]["bandana"]["samples_per_second"]
+            / data[phase]["2lm"]["samples_per_second"]
+        )
+    result.data = data
+    return result

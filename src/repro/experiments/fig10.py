@@ -1,0 +1,86 @@
+"""Figure 10: memory bandwidth of DenseNet under AutoTM.
+
+The signature the paper highlights: AutoTM generates NVRAM *writes only
+during the forward pass* (stashing activations) and NVRAM *reads only
+during the backward pass* (prefetching them back) — no wasted dirty
+write-backs (Section VII-A1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.autotm_common import run_autotm
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import cnn_platform_for, training_setup
+from repro.perf.report import render_series
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    training, _ = training_setup("densenet264", quick)
+    scale = cnn_platform_for(quick).scale_factor
+    autotm = run_autotm("densenet264", quick)
+    trace = autotm.trace
+
+    # The trace has one point per kernel/move; split at the first
+    # backward op's sample.
+    forward_ops = {op.name for op in training.forward_ops}
+    point_is_forward = []
+    in_forward = True
+    for point in trace:
+        if (
+            in_forward
+            and point.label is not None
+            and not point.label.startswith(("stash_", "restore_"))
+            and point.label not in forward_ops
+        ):
+            in_forward = False
+        point_is_forward.append(in_forward)
+    forward_mask = np.array(point_is_forward)
+
+    nvram_reads = np.array([p.traffic.nvram_reads for p in trace])
+    nvram_writes = np.array([p.traffic.nvram_writes for p in trace])
+
+    reads_fwd = int(nvram_reads[forward_mask].sum())
+    reads_bwd = int(nvram_reads[~forward_mask].sum())
+    writes_fwd = int(nvram_writes[forward_mask].sum())
+    writes_bwd = int(nvram_writes[~forward_mask].sum())
+
+    result = ExperimentResult(
+        name="fig10", title="DenseNet 264 memory bandwidth under AutoTM"
+    )
+    result.add(
+        "\n".join(
+            [
+                "Figure 10 — bandwidth per kernel/move (GB/s, hardware-equivalent)",
+                render_series(
+                    trace.bandwidth_series("dram_reads") * scale / 1e9, "DRAM read"
+                ),
+                render_series(
+                    trace.bandwidth_series("dram_writes") * scale / 1e9, "DRAM write"
+                ),
+                render_series(
+                    trace.bandwidth_series("nvram_reads") * scale / 1e9, "NVRAM read"
+                ),
+                render_series(
+                    trace.bandwidth_series("nvram_writes") * scale / 1e9,
+                    "NVRAM write",
+                ),
+            ]
+        )
+    )
+    result.add(
+        f"NVRAM writes: forward {writes_fwd} lines vs backward {writes_bwd} lines; "
+        f"NVRAM reads: forward {reads_fwd} lines vs backward {reads_bwd} lines"
+    )
+    result.data = {
+        "iteration_seconds": autotm.seconds,
+        "nvram_reads_forward": reads_fwd,
+        "nvram_reads_backward": reads_bwd,
+        "nvram_writes_forward": writes_fwd,
+        "nvram_writes_backward": writes_bwd,
+        "stash_bytes": autotm.stash_bytes,
+        "restore_bytes": autotm.restore_bytes,
+        "traffic": autotm.traffic,
+    }
+    return result

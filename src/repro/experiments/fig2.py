@@ -1,0 +1,77 @@
+"""Figure 2: raw NVRAM bandwidth in 1LM (app-direct).
+
+(a) read bandwidth with standard loads, (b) write bandwidth with
+nontemporal stores — as functions of thread count, access pattern, and
+granularity, over six interleaved NVRAM DIMMs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import cnn_platform
+from repro.kernels import Kernel, KernelSpec, run_kernel
+from repro.memsys import AddressMap, FlatBackend, Pattern, StoreType
+from repro.perf.report import render_table
+from repro.units import MiB
+
+THREAD_COUNTS = (1, 2, 4, 8, 16, 24)
+GRANULARITIES = (64, 128, 256, 512)
+
+
+def _configs():
+    yield Pattern.SEQUENTIAL, 64
+    for granularity in GRANULARITIES:
+        yield Pattern.RANDOM, granularity
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    platform = cnn_platform()
+    scale = platform.scale_factor
+    buffer_lines = ((8 if quick else 48) * MiB) // platform.line_size
+    nvram_lines = platform.socket.nvram_capacity // platform.line_size
+    threads = (1, 4, 8, 24) if quick else THREAD_COUNTS
+
+    result = ExperimentResult(
+        name="fig2", title="NVRAM bandwidth, 6 interleaved DIMMs (1LM)"
+    )
+    bandwidths: Dict[str, Dict[Tuple[str, int, int], float]] = {"read": {}, "write": {}}
+
+    for side, kernel, store in (
+        ("read", Kernel.READ_ONLY, StoreType.STANDARD),
+        ("write", Kernel.WRITE_ONLY, StoreType.NONTEMPORAL),
+    ):
+        rows = []
+        for pattern, granularity in _configs():
+            cells = [f"{pattern.value} {granularity}B"]
+            for n in threads:
+                backend = FlatBackend(platform, AddressMap.nvram_only(nvram_lines))
+                spec = KernelSpec(
+                    kernel,
+                    pattern=pattern,
+                    granularity=granularity,
+                    store_type=store,
+                    threads=n,
+                )
+                bench = run_kernel(backend, spec, buffer_lines)
+                gbps = bench.effective_gb_per_s * scale
+                bandwidths[side][(pattern.value, granularity, n)] = gbps
+                cells.append(f"{gbps:.1f}")
+            rows.append(cells)
+        label = "(a) read, standard loads" if side == "read" else "(b) write, NT stores"
+        result.add(
+            render_table(
+                ["pattern"] + [f"{n}T" for n in threads],
+                rows,
+                title=f"Figure 2{label} — GB/s (hardware-equivalent)",
+            )
+        )
+
+    result.data = {
+        "bandwidth": bandwidths,
+        "threads": list(threads),
+        "peak_read": max(bandwidths["read"].values()),
+        "peak_write": max(bandwidths["write"].values()),
+    }
+    return result

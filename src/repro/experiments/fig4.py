@@ -1,0 +1,127 @@
+"""Figure 4: 2LM bandwidth on arrays exceeding the DRAM cache.
+
+(a) read-only under 100 % clean misses, (b) write-only (NT stores)
+under 100 % dirty misses, (c) read-modify-write with standard stores —
+a dirty read miss followed by a DDO write-back.  For each, per-device
+bandwidth plus the "effective" application bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache import DirectMappedCache
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import cnn_platform_for
+from repro.kernels import Kernel, KernelSpec, run_kernel
+from repro.memsys import CachedBackend, Pattern, StoreType
+from repro.perf.report import render_table
+
+#: Array-to-cache ratio matching the paper's 420 GB vs 192 GB.
+OVERSUBSCRIPTION = 2.2
+
+
+def _patterns(quick: bool):
+    yield Pattern.SEQUENTIAL, 64
+    for granularity in ((256,) if quick else (64, 256, 512)):
+        yield Pattern.RANDOM, granularity
+
+
+def _run_case(
+    platform, spec_factory, prime_kernel, num_lines, quick
+) -> Dict[str, Dict[str, float]]:
+    scale = platform.scale_factor
+    case: Dict[str, Dict[str, float]] = {}
+    for pattern, granularity in _patterns(quick):
+        cache = DirectMappedCache(platform.socket.dram_capacity)
+        backend = CachedBackend(platform, cache)
+        prime = KernelSpec(prime_kernel, pattern=pattern, granularity=granularity, threads=24)
+        run_kernel(backend, prime, num_lines)
+        spec = spec_factory(pattern, granularity)
+        bench = run_kernel(backend, spec, num_lines)
+        case[f"{pattern.value}_{granularity}"] = {
+            "dram_read": bench.bandwidth_gb_per_s("dram_reads") * scale,
+            "dram_write": bench.bandwidth_gb_per_s("dram_writes") * scale,
+            "nvram_read": bench.bandwidth_gb_per_s("nvram_reads") * scale,
+            "nvram_write": bench.bandwidth_gb_per_s("nvram_writes") * scale,
+            "effective": bench.effective_gb_per_s * scale,
+            "amplification": bench.traffic.amplification,
+            "hit_rate": bench.tags.hit_rate,
+            "ddo_fraction": (
+                bench.tags.ddo_writes / bench.traffic.demand_writes
+                if bench.traffic.demand_writes
+                else 0.0
+            ),
+        }
+    return case
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    platform = cnn_platform_for(quick)
+    ratio = OVERSUBSCRIPTION
+    num_lines = int(platform.socket.dram_capacity * ratio) // platform.line_size
+    num_lines -= num_lines % (512 // platform.line_size)  # largest granularity
+
+    cases = {
+        "4a_read_clean_miss": _run_case(
+            platform,
+            lambda pattern, granularity: KernelSpec(
+                Kernel.READ_ONLY, pattern=pattern, granularity=granularity, threads=24
+            ),
+            Kernel.READ_ONLY,
+            num_lines,
+            quick,
+        ),
+        "4b_write_dirty_miss": _run_case(
+            platform,
+            lambda pattern, granularity: KernelSpec(
+                Kernel.WRITE_ONLY,
+                pattern=pattern,
+                granularity=granularity,
+                store_type=StoreType.NONTEMPORAL,
+                threads=24,
+            ),
+            Kernel.WRITE_ONLY,
+            num_lines,
+            quick,
+        ),
+        "4c_rmw_ddo": _run_case(
+            platform,
+            lambda pattern, granularity: KernelSpec(
+                Kernel.READ_MODIFY_WRITE,
+                pattern=pattern,
+                granularity=granularity,
+                store_type=StoreType.STANDARD,
+                threads=4,
+            ),
+            Kernel.WRITE_ONLY,
+            num_lines,
+            quick,
+        ),
+    }
+
+    result = ExperimentResult(
+        name="fig4", title="2LM bandwidth at 100% miss rate (array >> cache)"
+    )
+    for case_name, rows in cases.items():
+        table = [
+            [
+                config,
+                f"{v['dram_read']:.1f}",
+                f"{v['dram_write']:.1f}",
+                f"{v['nvram_read']:.1f}",
+                f"{v['nvram_write']:.1f}",
+                f"{v['effective']:.1f}",
+                f"{v['amplification']:.2f}",
+            ]
+            for config, v in rows.items()
+        ]
+        result.add(
+            render_table(
+                ["pattern", "DRAM rd", "DRAM wr", "NVRAM rd", "NVRAM wr", "effective", "amp"],
+                table,
+                title=f"Figure {case_name} — GB/s (hardware-equivalent)",
+            )
+        )
+    result.data = cases
+    return result

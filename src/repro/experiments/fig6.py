@@ -1,0 +1,89 @@
+"""Figure 6: per-kernel bandwidth inside DenseNet dense blocks.
+
+A high-resolution window over the forward pass showing which kernels
+bottleneck: Concat and the first (wide) BatchNorm of each dense block
+are memory-bound with little reuse, while convolutions are compute
+bound (Section V-C).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.cache import DirectMappedCache
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import CNN_STRIDE, cnn_platform_for, training_setup
+from repro.memsys import CachedBackend
+from repro.nn import execute_iteration
+from repro.nn.ir import OpKind
+from repro.perf.report import render_table
+
+_FORWARD_KINDS = (
+    OpKind.CONCAT,
+    OpKind.BATCH_NORM,
+    OpKind.CONV,
+    OpKind.RELU,
+    OpKind.POOL,
+)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    platform = cnn_platform_for(quick)
+    scale = platform.scale_factor
+    training, plan = training_setup("densenet264", quick)
+    cache = DirectMappedCache(platform.socket.dram_capacity)
+    backend = CachedBackend(platform, cache)
+
+    execute_iteration(plan, backend, sample_stride=CNN_STRIDE)  # warm-up
+    execution = execute_iteration(plan, backend, sample_stride=CNN_STRIDE)
+
+    # Aggregate forward-pass kernels by kind.
+    per_kind: Dict[OpKind, Dict[str, float]] = defaultdict(
+        lambda: {"seconds": 0.0, "bytes": 0.0, "count": 0.0, "compute": 0.0}
+    )
+    forward_records = execution.records[: training.backward_start]
+    for record in forward_records:
+        if record.op.kind not in _FORWARD_KINDS:
+            continue
+        agg = per_kind[record.op.kind]
+        agg["seconds"] += record.seconds
+        agg["bytes"] += record.traffic.total_bytes
+        agg["count"] += 1
+        agg["compute"] += record.compute_seconds
+
+    rows: List[List[str]] = []
+    data = {}
+    for kind, agg in sorted(per_kind.items(), key=lambda kv: -kv[1]["seconds"]):
+        bandwidth = (
+            agg["bytes"] / agg["seconds"] * scale / 1e9 if agg["seconds"] else 0.0
+        )
+        memory_bound = agg["compute"] < agg["seconds"] / 2
+        rows.append(
+            [
+                kind.value,
+                f"{agg['count']:.0f}",
+                f"{agg['seconds']:.1f}",
+                f"{bandwidth:.1f}",
+                "memory" if memory_bound else "compute",
+            ]
+        )
+        data[kind.value] = {
+            "seconds": agg["seconds"],
+            "bandwidth_gbps": bandwidth,
+            "memory_bound": memory_bound,
+            "count": int(agg["count"]),
+        }
+
+    result = ExperimentResult(
+        name="fig6", title="Dense-block kernel bandwidth snapshot (forward pass)"
+    )
+    result.add(
+        render_table(
+            ["kernel", "count", "total s", "GB/s (hw-equiv)", "bound by"],
+            rows,
+            title="Figure 6 — per-kernel memory behaviour in dense blocks",
+        )
+    )
+    result.data = data
+    return result

@@ -1,0 +1,63 @@
+"""Figure 7: graph-kernel performance in 2LM, kron vs wdc.
+
+When the input fits the DRAM cache (kron), the kernels run at DRAM
+bandwidth with little NVRAM traffic; when it does not (wdc), bandwidth
+collapses and NVRAM traffic appears (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.graphcommon import KERNELS, run_graph_kernel
+from repro.experiments.platform import graph_platform_for, kron_graph, wdc_graph
+from repro.perf.report import render_table
+from repro.units import format_bytes
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    platform = graph_platform_for(quick)
+    cache_bytes = 2 * platform.socket.dram_capacity
+    result = ExperimentResult(
+        name="fig7", title="Graph kernels in 2LM: cache-resident vs cache-exceeding"
+    )
+    data = {}
+    for label, csr in (("kron", kron_graph(quick)), ("wdc", wdc_graph(quick))):
+        rows = []
+        data[label] = {"binary_bytes": csr.binary_bytes, "kernels": {}}
+        for kernel in KERNELS:
+            run_result = run_graph_kernel(kernel, csr, mode="2lm", quick=quick)
+            dram = run_result.bandwidth_gbps("dram_reads") + run_result.bandwidth_gbps(
+                "dram_writes"
+            )
+            nvram = run_result.bandwidth_gbps("nvram_reads") + run_result.bandwidth_gbps(
+                "nvram_writes"
+            )
+            rows.append(
+                [
+                    kernel,
+                    f"{run_result.seconds:.2f}",
+                    f"{dram:.1f}",
+                    f"{nvram:.1f}",
+                    f"{run_result.tags.hit_rate:.2f}",
+                ]
+            )
+            data[label]["kernels"][kernel] = {
+                "seconds": run_result.seconds,
+                "dram_gbps": dram,
+                "nvram_gbps": nvram,
+                "hit_rate": run_result.tags.hit_rate,
+            }
+        fits = "fits in" if csr.binary_bytes < cache_bytes else "exceeds"
+        result.add(
+            render_table(
+                ["kernel", "runtime s", "DRAM GB/s", "NVRAM GB/s", "hit rate"],
+                rows,
+                title=(
+                    f"Figure 7 ({label}): binary {format_bytes(csr.binary_bytes)} "
+                    f"{fits} the {format_bytes(cache_bytes)} DRAM cache "
+                    f"(bandwidth hardware-equivalent)"
+                ),
+            )
+        )
+    result.data = data
+    return result

@@ -1,0 +1,56 @@
+"""Figure 9: pagerank-push traces, cache-resident vs cache-exceeding.
+
+(a) bandwidth when the graph fits the DRAM cache — stable, DRAM-only;
+(b) bandwidth when it does not — lower, with excess DRAM reads and
+heavy NVRAM traffic; (c) the tag-event trace for the same run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.graphcommon import run_graph_kernel
+from repro.experiments.platform import kron_graph, wdc_graph
+from repro.perf.report import render_series
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(name="fig9", title="pagerank-push traces in 2LM")
+    data = {}
+    for label, csr in (("kron", kron_graph(quick)), ("wdc", wdc_graph(quick))):
+        run_result = run_graph_kernel("pr", csr, mode="2lm", quick=quick)
+        scale = run_result.scale
+        trace = run_result.trace
+        series = {
+            "dram_read": trace.bandwidth_series("dram_reads") * scale / 1e9,
+            "dram_write": trace.bandwidth_series("dram_writes") * scale / 1e9,
+            "nvram_read": trace.bandwidth_series("nvram_reads") * scale / 1e9,
+            "nvram_write": trace.bandwidth_series("nvram_writes") * scale / 1e9,
+        }
+        lines = [
+            f"Figure 9 ({label}) — bandwidth per round (GB/s, hardware-equivalent)",
+            render_series(series["dram_read"], "DRAM read"),
+            render_series(series["dram_write"], "DRAM write"),
+            render_series(series["nvram_read"], "NVRAM read"),
+            render_series(series["nvram_write"], "NVRAM write"),
+        ]
+        if label == "wdc":
+            lines += [
+                "Figure 9c — tag events per round",
+                render_series(trace.tag_rate_series("hits"), "tag hits"),
+                render_series(trace.tag_rate_series("clean_misses"), "clean misses"),
+                render_series(trace.tag_rate_series("dirty_misses"), "dirty misses"),
+            ]
+        result.add("\n".join(lines))
+        data[label] = {
+            "series": series,
+            "hit_rate": run_result.tags.hit_rate,
+            "seconds": run_result.seconds,
+            "dram_gbps": run_result.bandwidth_gbps("dram_reads")
+            + run_result.bandwidth_gbps("dram_writes"),
+            "nvram_gbps": run_result.bandwidth_gbps("nvram_reads")
+            + run_result.bandwidth_gbps("nvram_writes"),
+            "clean_misses": run_result.tags.clean_misses,
+            "dirty_misses": run_result.tags.dirty_misses,
+        }
+    result.data = data
+    return result

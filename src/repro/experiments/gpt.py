@@ -1,0 +1,95 @@
+"""Extension case study: transformer (GPT-style) training.
+
+The paper's first sentence motivates NVRAM with NLP models "such as
+GPT3"; this experiment applies the paper's CNN methodology to a
+decoder-only transformer whose saved attention activations exceed the
+DRAM cache, comparing 2LM against AutoTM placement.
+"""
+
+from __future__ import annotations
+
+from repro.autotm import PlacementProblem, solve_greedy, solve_ilp
+from repro.autotm.executor import execute_autotm
+from repro.cache import DirectMappedCache
+from repro.errors import ConfigurationError, SolverError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import CNN_STRIDE, cnn_platform_for
+from repro.memsys import CachedBackend
+from repro.nn import build_training_graph, execute_iteration, plan_memory
+from repro.nn.networks import gpt_like
+from repro.perf.report import render_table
+from repro.units import format_bytes
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    platform = cnn_platform_for(quick)
+    scale = platform.scale_factor
+    if quick:
+        graph = gpt_like(batch=1, seq_len=128, layers=12)
+    else:
+        graph = gpt_like(batch=2, seq_len=256, layers=24)
+    training = build_training_graph(graph)
+    plan = plan_memory(graph, alignment=CNN_STRIDE * 64)
+
+    cache = DirectMappedCache(platform.socket.dram_capacity)
+    backend = CachedBackend(platform, cache)
+    execute_iteration(plan, backend, sample_stride=CNN_STRIDE)  # warm-up
+    cached = execute_iteration(plan, backend, sample_stride=CNN_STRIDE)
+
+    autotm = None
+    for fraction in (0.8, 0.65, 0.5):
+        budget = int(platform.socket.dram_capacity * fraction)
+        problem = PlacementProblem.build(training, platform, budget, capacity_stride=4)
+        try:
+            placement = solve_ilp(problem, time_limit=30.0 if quick else 120.0)
+        except SolverError:
+            placement = solve_greedy(problem)
+        try:
+            autotm = execute_autotm(training, placement, platform, sample_stride=CNN_STRIDE)
+            break
+        except ConfigurationError:
+            continue
+    if autotm is None:
+        raise ConfigurationError("AutoTM could not place the transformer")
+
+    def gb(lines: int) -> str:
+        return f"{lines * 64 * scale / 1e9:.0f}"
+
+    t2, ta = cached.traffic, autotm.traffic
+    result = ExperimentResult(
+        name="gpt", title="Transformer training: 2LM vs AutoTM (extension)"
+    )
+    result.add(
+        f"footprint {format_bytes(plan.total_bytes)} vs "
+        f"{format_bytes(platform.socket.dram_capacity)} DRAM cache; "
+        f"{len(graph.ops)} kernels per iteration"
+    )
+    result.add(
+        render_table(
+            ["mode", "DRAM rd", "DRAM wr", "NVRAM rd", "NVRAM wr", "runtime s"],
+            [
+                ["2LM", gb(t2.dram_reads), gb(t2.dram_writes), gb(t2.nvram_reads),
+                 gb(t2.nvram_writes), f"{cached.seconds:.0f}"],
+                ["AutoTM", gb(ta.dram_reads), gb(ta.dram_writes), gb(ta.nvram_reads),
+                 gb(ta.nvram_writes), f"{autotm.seconds:.0f}"],
+            ],
+            title="GB moved (hardware-equivalent) per training iteration",
+        )
+    )
+    speedup = cached.seconds / autotm.seconds if autotm.seconds else 0.0
+    result.add(f"AutoTM speedup: {speedup:.2f}x")
+    result.data = {
+        "2lm_seconds": cached.seconds,
+        "autotm_seconds": autotm.seconds,
+        "speedup": speedup,
+        "hit_rate": cached.tags.hit_rate,
+        "dirty_misses": cached.tags.dirty_misses,
+        "clean_misses": cached.tags.clean_misses,
+        "footprint_bytes": plan.total_bytes,
+        "cache_bytes": platform.socket.dram_capacity,
+        "nvram_ratio": (
+            (ta.nvram_reads + ta.nvram_writes)
+            / max(1, t2.nvram_reads + t2.nvram_writes)
+        ),
+    }
+    return result

@@ -1,0 +1,58 @@
+"""Experiment registry and lookup."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation,
+    check,
+    dlrm,
+    dma,
+    fig2,
+    gpt,
+    mix,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+)
+from repro.experiments.base import ExperimentResult
+
+#: Every table/figure of the paper's evaluation, by name.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": fig2.run,
+    "table1": table1.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "table2": table2.run,
+    "ablation": ablation.run,
+    "dma": dma.run,
+    "mix": mix.run,
+    "dlrm": dlrm.run,
+    "gpt": gpt.run,
+    "check": check.run,
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    return get_experiment(name)(quick=quick)

@@ -1,0 +1,93 @@
+"""Table II: data moved and runtime, 2LM vs AutoTM, three CNNs.
+
+The paper's headline mitigation result: AutoTM moves only 50-60 % of
+2LM's NVRAM traffic and achieves 1.8x / 2.2x / 3.1x speedups for
+Inception v4, ResNet 200 and DenseNet 264 (Section VII-A1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.autotm_common import run_2lm, run_autotm
+from repro.experiments.base import ExperimentResult
+from repro.experiments.platform import PAPER_TABLE2, cnn_platform_for
+from repro.perf.report import render_table
+
+NETWORKS = ("inception_v4", "resnet200", "densenet264")
+
+
+def _gb(lines: int, scale: float) -> float:
+    """Hardware-equivalent decimal GB from a 64 B line count."""
+    return lines * 64 * scale / 1e9
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="table2", title="Data moved and runtime: 2LM vs AutoTM"
+    )
+    rows = []
+    scale = cnn_platform_for(quick).scale_factor
+    data: Dict[str, Dict[str, float]] = {}
+    for network in NETWORKS:
+        cached = run_2lm(network, quick)
+        autotm = run_autotm(network, quick)
+        t2, ta = cached.traffic, autotm.traffic
+        speedup = cached.seconds / autotm.seconds if autotm.seconds else 0.0
+        nvram_ratio = (
+            (ta.nvram_reads + ta.nvram_writes) / (t2.nvram_reads + t2.nvram_writes)
+            if (t2.nvram_reads + t2.nvram_writes)
+            else 0.0
+        )
+        rows.append(
+            [
+                network,
+                f"{_gb(t2.dram_reads, scale):.0f}",
+                f"{_gb(t2.dram_writes, scale):.0f}",
+                f"{_gb(t2.nvram_reads, scale):.0f}",
+                f"{_gb(t2.nvram_writes, scale):.0f}",
+                f"{cached.seconds:.0f}",
+                f"{_gb(ta.dram_reads, scale):.0f}",
+                f"{_gb(ta.dram_writes, scale):.0f}",
+                f"{_gb(ta.nvram_reads, scale):.0f}",
+                f"{_gb(ta.nvram_writes, scale):.0f}",
+                f"{autotm.seconds:.0f}",
+                f"{speedup:.2f}x",
+                f"{PAPER_TABLE2[network]['speedup']:.1f}x",
+            ]
+        )
+        data[network] = {
+            "2lm_seconds": cached.seconds,
+            "autotm_seconds": autotm.seconds,
+            "speedup": speedup,
+            "nvram_traffic_ratio": nvram_ratio,
+            "2lm_nvram_gb": _gb(t2.nvram_reads + t2.nvram_writes, scale),
+            "autotm_nvram_gb": _gb(ta.nvram_reads + ta.nvram_writes, scale),
+            "2lm_dram_gb": _gb(t2.dram_reads + t2.dram_writes, scale),
+            "autotm_dram_gb": _gb(ta.dram_reads + ta.dram_writes, scale),
+            "paper_speedup": PAPER_TABLE2[network]["speedup"],
+        }
+
+    result.add(
+        render_table(
+            [
+                "network",
+                "2LM Drd",
+                "2LM Dwr",
+                "2LM Nrd",
+                "2LM Nwr",
+                "2LM s",
+                "ATM Drd",
+                "ATM Dwr",
+                "ATM Nrd",
+                "ATM Nwr",
+                "ATM s",
+                "speedup",
+                "paper",
+            ],
+            rows,
+            title="Table II — GB moved (hardware-equivalent) and virtual runtime",
+        )
+    )
+    result.data = data
+    return result

@@ -1,0 +1,29 @@
+"""Graph analytics substrate — the Galois-equivalent workloads.
+
+The paper's second case study (Section VI) runs four lonestar kernels
+(bfs, connected components, k-core, pagerank-push) over two massive
+graphs: kron30 (fits in the DRAM cache) and wdc12 (does not).  This
+package provides real implementations: a CSR representation, graph500
+Kronecker and web-graph generators, the four kernels implemented over
+numpy, and a runtime that emits each kernel's actual line-level memory
+traffic into a simulated backend — in 2LM, in flat NUMA mode (the
+paper's baseline-traffic methodology), and in Sage-style semi-asymmetric
+mode.
+"""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import kronecker, web_graph
+from repro.graphs.runtime import GraphLayout, GraphRuntime
+from repro.graphs.kernels import bfs, connected_components, kcore, pagerank_push
+
+__all__ = [
+    "CSRGraph",
+    "GraphLayout",
+    "GraphRuntime",
+    "bfs",
+    "connected_components",
+    "kcore",
+    "kronecker",
+    "pagerank_push",
+    "web_graph",
+]

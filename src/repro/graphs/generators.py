@@ -1,0 +1,99 @@
+"""Synthetic graph generators.
+
+Two inputs stand in for the paper's graphs (Section VI-B):
+
+* :func:`kronecker` — a graph500-style R-MAT/Kronecker generator, the
+  same family as kron30 (the paper's cache-resident input).
+* :func:`web_graph` — a scale-free, power-law web graph standing in for
+  wdc12 (the largest publicly available hyperlink graph, which we cannot
+  ship); sized so its binary exceeds the scaled DRAM cache.
+
+Both are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.csr import CSRGraph
+
+#: graph500 R-MAT quadrant probabilities.
+_RMAT = (0.57, 0.19, 0.19, 0.05)
+
+
+def kronecker(scale: int, edge_factor: int = 16, seed: int = 1) -> CSRGraph:
+    """A graph500 Kronecker graph with ``2**scale`` nodes.
+
+    Edges are sampled bit by bit with the standard (A, B, C, D) =
+    (0.57, 0.19, 0.19, 0.05) recursive partitioning, matching the
+    generator behind the paper's kron30 input.
+    """
+    if scale < 1 or scale > 28:
+        raise ConfigurationError(f"scale must be in [1, 28], got {scale}")
+    if edge_factor < 1:
+        raise ConfigurationError("edge_factor must be >= 1")
+    rng = np.random.default_rng(seed)
+    num_nodes = 1 << scale
+    num_edges = num_nodes * edge_factor
+
+    a, b, c, _ = _RMAT
+    ab = a + b
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(num_edges)
+        # Quadrant choice: bottom half of the matrix sets the src bit,
+        # right half sets the dst bit.
+        src_bit = r >= ab
+        r2 = rng.random(num_edges)
+        dst_threshold = np.where(src_bit, c / (1 - ab), b / ab)
+        dst_bit = r2 >= dst_threshold
+        src |= src_bit.astype(np.int64) << bit
+        dst |= dst_bit.astype(np.int64) << bit
+
+    # graph500 permutes vertex labels to break the generator's locality.
+    permutation = rng.permutation(num_nodes)
+    return CSRGraph.from_edges(permutation[src], permutation[dst], num_nodes)
+
+
+def web_graph(
+    num_nodes: int,
+    avg_degree: int = 30,
+    alpha: float = 1.8,
+    seed: int = 2,
+) -> CSRGraph:
+    """A scale-free hyperlink-style graph (wdc12 stand-in).
+
+    Out-degrees follow a truncated power law; destinations are drawn
+    with Zipf-like preferential attachment, giving the heavy-tailed
+    in-degree distribution and poor locality characteristic of web
+    crawls.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError("web graph needs at least 2 nodes")
+    if avg_degree < 1:
+        raise ConfigurationError("avg_degree must be >= 1")
+    if alpha <= 1.0:
+        raise ConfigurationError("alpha must exceed 1 for a normalizable tail")
+    rng = np.random.default_rng(seed)
+
+    # Pareto out-degrees scaled to hit the requested average; clipping
+    # and rounding shave the mean, so top up the deficit uniformly.
+    raw = rng.pareto(alpha - 1.0, size=num_nodes) + 1.0
+    degrees = np.minimum(raw / raw.mean() * avg_degree, num_nodes / 4).astype(np.int64)
+    degrees = np.maximum(degrees, 1)
+    deficit = num_nodes * avg_degree - int(degrees.sum())
+    if deficit > 0:
+        top_up = rng.integers(0, num_nodes, size=deficit)
+        degrees += np.bincount(top_up, minlength=num_nodes)
+    num_edges = int(degrees.sum())
+
+    src = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    # Preferential destinations: inverse-CDF sampling of a Zipf law over
+    # a random popularity ranking of the nodes.
+    u = rng.random(num_edges)
+    ranks = (num_nodes ** u - 1.0).astype(np.int64) % num_nodes
+    popularity = rng.permutation(num_nodes)
+    dst = popularity[ranks]
+    return CSRGraph.from_edges(src, dst, num_nodes)

@@ -1,0 +1,14 @@
+"""The four lonestar kernels the paper evaluates (Section VI-B).
+
+Each kernel is a real numpy implementation over the CSR graph; when
+given a :class:`~repro.graphs.runtime.GraphRuntime`, it also emits its
+line-level memory traffic so the 2LM / NUMA / Sage comparisons measure
+genuine algorithm behaviour.
+"""
+
+from repro.graphs.kernels.bfs import bfs
+from repro.graphs.kernels.cc import connected_components
+from repro.graphs.kernels.kcore import kcore
+from repro.graphs.kernels.pagerank import pagerank_push
+
+__all__ = ["bfs", "connected_components", "kcore", "pagerank_push"]

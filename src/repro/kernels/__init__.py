@@ -1,0 +1,24 @@
+"""Microbenchmark generator — the Python analogue of KernelBenchmarks.jl.
+
+The paper measures its platform with custom load/store loops: read-only,
+write-only, and read-modify-write kernels over a buffer, iterated either
+sequentially or pseudo-randomly (each address touched exactly once, via
+a maximum-length LFSR), with 64-512 B access granularity and standard or
+nontemporal stores (Section III-B).  This package generates the same
+access streams and drives them through a memory backend.
+"""
+
+from repro.kernels.lfsr import lfsr_sequence, max_length_lfsr_states
+from repro.kernels.patterns import access_blocks
+from repro.kernels.bench import Kernel, KernelSpec
+from repro.kernels.runner import BenchmarkResult, run_kernel
+
+__all__ = [
+    "BenchmarkResult",
+    "Kernel",
+    "KernelSpec",
+    "access_blocks",
+    "lfsr_sequence",
+    "max_length_lfsr_states",
+    "run_kernel",
+]

@@ -1,0 +1,90 @@
+"""Kernel definitions for the microbenchmark suite.
+
+Three operations, mirroring the paper's generator (Section III-B):
+
+* ``READ_ONLY`` — a load per element.
+* ``WRITE_ONLY`` — a store per element.
+* ``READ_MODIFY_WRITE`` — a load followed by a store to the same element.
+
+Stores come in two flavours with very different IMC-level behaviour
+(Section IV-A):
+
+* **standard** stores allocate in the CPU cache: a store to a line not
+  present in the LLC first issues a Read-For-Ownership (an LLC read!),
+  and the dirtied line reaches the IMC only later, when it is evicted —
+  giving the delayed write-back pattern behind the Dirty Data
+  Optimization.
+* **nontemporal** stores bypass the CPU cache entirely and arrive at
+  the IMC as immediate LLC writes, with no RFO.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memsys.counters import Pattern, StoreType
+from repro.units import CACHE_LINE
+
+
+class Kernel(enum.Enum):
+    """Microbenchmark operation."""
+
+    READ_ONLY = "read_only"
+    WRITE_ONLY = "write_only"
+    READ_MODIFY_WRITE = "read_modify_write"
+    #: Interleaved loads and stores over disjoint elements, with a
+    #: configurable read fraction (FAST'20-style mixed bandwidth).
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A fully parameterized microbenchmark run."""
+
+    kernel: Kernel
+    pattern: Pattern = Pattern.SEQUENTIAL
+    granularity: int = CACHE_LINE
+    store_type: StoreType = StoreType.NONTEMPORAL
+    threads: int = 1
+    sockets: int = 1
+    #: Fraction of elements loaded (vs stored) for the MIXED kernel.
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.granularity < CACHE_LINE or self.granularity % CACHE_LINE:
+            raise ValueError(
+                f"granularity must be a positive multiple of {CACHE_LINE}, "
+                f"got {self.granularity}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+
+    @property
+    def reads(self) -> bool:
+        """Does the kernel issue demand loads?"""
+        if self.kernel is Kernel.MIXED:
+            return self.read_fraction > 0.0
+        return self.kernel in (Kernel.READ_ONLY, Kernel.READ_MODIFY_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        """Does the kernel issue stores?"""
+        if self.kernel is Kernel.MIXED:
+            return self.read_fraction < 1.0
+        return self.kernel in (Kernel.WRITE_ONLY, Kernel.READ_MODIFY_WRITE)
+
+    def describe(self) -> str:
+        parts = [
+            self.kernel.value,
+            self.pattern.value,
+            f"{self.granularity}B",
+            f"{self.threads}T",
+        ]
+        if self.writes:
+            parts.append(self.store_type.value)
+        return " ".join(parts)

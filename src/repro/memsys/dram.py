@@ -1,0 +1,42 @@
+"""DDR4 DRAM channel device model.
+
+DRAM bandwidth on this platform is high and comparatively insensitive to
+access pattern (the paper's bottlenecks are always the NVRAM side or the
+cache's access amplification, never raw DRAM).  The model is therefore a
+sustained-bandwidth curve with a mild random-access derating.
+"""
+
+from __future__ import annotations
+
+from repro.config import DRAMConfig
+from repro.memsys.counters import AccessContext, Pattern
+
+
+class DRAMDevice:
+    """One DRAM DIMM on one channel."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+
+    @property
+    def capacity(self) -> int:
+        return self.config.capacity
+
+    def bandwidth(self, ctx: AccessContext) -> float:
+        """Achievable bytes/s for this channel's DRAM under ``ctx``.
+
+        Reads and writes share the same sustained channel rate; random
+        access pays a small penalty for bank conflicts and row misses.
+        """
+        bandwidth = self.config.sustained_bandwidth
+        if ctx.pattern is Pattern.RANDOM:
+            bandwidth *= self.config.random_penalty
+        return bandwidth
+
+    def service_time(self, nbytes: float, ctx: AccessContext) -> float:
+        """Seconds for this channel's DRAM to move ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {nbytes}")
+        if not nbytes:
+            return 0.0
+        return nbytes / self.bandwidth(ctx)

@@ -1,0 +1,106 @@
+"""Optane DC PMM device model.
+
+Captures the NVRAM behaviour the paper's analysis depends on
+(Section III-C, calibrated against Figure 2 and Yang et al., FAST'20):
+
+* Asymmetric bandwidth: ~5.3 GB/s read vs ~1.9 GB/s write per 512 GiB
+  DIMM.
+* 256 B media granularity.  Random reads smaller than 256 B waste media
+  bandwidth; random 64 B writes suffer ~4x write amplification because
+  the DIMM's limited write-combining buffer cannot merge them.
+* Sequential 64 B writes *are* merged into 256 B media writes, so
+  sequential streams achieve full bandwidth at any store width.
+* Aggregate write bandwidth peaks at ~4 threads and degrades slightly
+  when oversubscribed (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from repro.config import NVRAMConfig
+from repro.memsys.counters import AccessContext, Pattern
+
+
+class NVRAMDevice:
+    """One Optane DC DIMM on one channel."""
+
+    def __init__(self, config: NVRAMConfig) -> None:
+        self.config = config
+
+    @property
+    def capacity(self) -> int:
+        return self.config.capacity
+
+    def _granularity_factor(self, ctx: AccessContext) -> float:
+        """Fraction of media bandwidth delivered as useful data.
+
+        Sequential streams are merged to full media accesses by the
+        on-DIMM controller; random accesses narrower than the media
+        granularity are amplified by ``media / granularity``.
+        """
+        if ctx.pattern is Pattern.SEQUENTIAL:
+            return 1.0
+        return min(1.0, ctx.granularity / self.config.media_granularity)
+
+    def _oversubscription_factor(self, ctx: AccessContext) -> float:
+        """Write-side derating when more threads than the DIMM buffers like."""
+        extra = ctx.threads - self.config.write_saturation_threads * ctx.sockets
+        if extra <= 0:
+            return 1.0
+        derated = 1.0 - self.config.write_oversubscription_penalty * extra
+        return max(self.config.write_oversubscription_floor, derated)
+
+    def read_bandwidth(self, ctx: AccessContext) -> float:
+        """Achievable read bytes/s for this DIMM under ``ctx``."""
+        return self.config.read_bandwidth * self._granularity_factor(ctx)
+
+    def _stream_factor(self, ctx: AccessContext) -> float:
+        """Write-combining loss when too many streams interleave.
+
+        The DIMM's small internal buffer merges 64 B writes into 256 B
+        media writes only for a handful of concurrent sequential
+        streams; beyond :attr:`NVRAMConfig.stream_capacity` the merge
+        rate drops (Yang et al., FAST'20).  Random traffic is already
+        charged via the granularity factor.
+        """
+        if ctx.pattern is Pattern.RANDOM:
+            return 1.0
+        if ctx.streams <= self.config.stream_capacity * ctx.sockets:
+            return 1.0
+        return self.config.multistream_write_factor
+
+    def write_bandwidth(self, ctx: AccessContext) -> float:
+        """Achievable write bytes/s for this DIMM under ``ctx``."""
+        return (
+            self.config.write_bandwidth
+            * self._granularity_factor(ctx)
+            * self._oversubscription_factor(ctx)
+            * self._stream_factor(ctx)
+        )
+
+    def service_time(
+        self,
+        read_bytes: float,
+        write_bytes: float,
+        ctx: AccessContext,
+        serialize: bool = False,
+    ) -> float:
+        """Seconds for this DIMM to serve the given read and write volume.
+
+        The DIMM controller keeps separate read and write queues that
+        largely overlap, but the shared 3D-XPoint media introduces some
+        interference between the streams; ``mixed_interference``
+        interpolates between full overlap (0.0) and serialization (1.0).
+
+        ``serialize=True`` forces full serialization: the 2LM miss
+        handler issues its NVRAM fill read and dirty write-back
+        back-to-back per request, so in memory mode the two streams
+        cannot overlap (this is why the paper's Figure 5c shows combined
+        NVRAM bandwidth far below either one-directional limit).
+        """
+        if read_bytes < 0 or write_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        read_time = read_bytes / self.read_bandwidth(ctx) if read_bytes else 0.0
+        write_time = write_bytes / self.write_bandwidth(ctx) if write_bytes else 0.0
+        interference = 1.0 if serialize else self.config.mixed_interference
+        overlap = min(read_time, write_time)
+        return max(read_time, write_time) + interference * overlap

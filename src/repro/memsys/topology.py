@@ -1,0 +1,90 @@
+"""Physical address layout for flat (1LM / app-direct) configurations.
+
+In 1LM the paper exposes NVRAM either as a DAX device or as extra NUMA
+nodes (Section VI-B).  Under the Galois NUMA-preferred policy, threads
+allocate from socket DRAM until it is exhausted and then from NVRAM.
+An :class:`AddressMap` captures that layout: an ordered list of regions,
+each backed by one device kind, addressed at line granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DeviceKind = Literal["dram", "nvram"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous run of physical lines backed by one device kind."""
+
+    name: str
+    start_line: int
+    num_lines: int
+    device: DeviceKind
+
+    def __post_init__(self) -> None:
+        if self.start_line < 0 or self.num_lines <= 0:
+            raise ConfigurationError(f"invalid region extent for {self.name!r}")
+        if self.device not in ("dram", "nvram"):
+            raise ConfigurationError(f"unknown device kind {self.device!r}")
+
+    @property
+    def end_line(self) -> int:
+        return self.start_line + self.num_lines
+
+    def contains(self, line: int) -> bool:
+        return self.start_line <= line < self.end_line
+
+
+class AddressMap:
+    """An ordered, non-overlapping set of regions covering [0, total_lines)."""
+
+    def __init__(self, regions: Iterable[Region]) -> None:
+        self.regions = sorted(regions, key=lambda r: r.start_line)
+        if not self.regions:
+            raise ConfigurationError("address map needs at least one region")
+        cursor = 0
+        for region in self.regions:
+            if region.start_line != cursor:
+                raise ConfigurationError(
+                    f"region {region.name!r} starts at line {region.start_line}, "
+                    f"expected {cursor} (regions must tile the space)"
+                )
+            cursor = region.end_line
+        self.total_lines = cursor
+        # Boundary and device-kind arrays for vectorized classification.
+        self._starts = np.array([r.start_line for r in self.regions], dtype=np.int64)
+        self._is_dram = np.array([r.device == "dram" for r in self.regions], dtype=bool)
+
+    @classmethod
+    def numa_preferred(cls, dram_lines: int, nvram_lines: int) -> "AddressMap":
+        """DRAM-first layout: allocations spill into NVRAM when DRAM fills."""
+        return cls(
+            [
+                Region("dram", 0, dram_lines, "dram"),
+                Region("nvram", dram_lines, nvram_lines, "nvram"),
+            ]
+        )
+
+    @classmethod
+    def nvram_only(cls, nvram_lines: int) -> "AddressMap":
+        """All-NVRAM layout, e.g. an app-direct DAX mapping."""
+        return cls([Region("nvram", 0, nvram_lines, "nvram")])
+
+    def classify(self, lines: np.ndarray) -> np.ndarray:
+        """Boolean mask: True where each line is DRAM-backed."""
+        if lines.size and (lines.min() < 0 or lines.max() >= self.total_lines):
+            raise ConfigurationError("line address outside the mapped space")
+        idx = np.searchsorted(self._starts, lines, side="right") - 1
+        return self._is_dram[idx]
+
+    def device_of(self, line: int) -> DeviceKind:
+        """Device kind backing a single line address."""
+        mask = self.classify(np.array([line], dtype=np.int64))
+        return "dram" if bool(mask[0]) else "nvram"

@@ -1,0 +1,180 @@
+"""LLC request-stream recording and replay.
+
+Memory-systems work lives on traces: record the request stream a
+workload emits once, then replay it against any number of cache/backend
+configurations without re-running the workload.  The recorder wraps any
+backend transparently; traces round-trip through compressed ``.npz``
+files.
+
+Typical use::
+
+    recorder = RecordingBackend(real_backend)
+    run_kernel(recorder, spec, num_lines)        # runs AND records
+    recorder.trace.save("stream.npz")
+
+    trace = RequestTrace.load("stream.npz")
+    replay(trace, other_backend)                 # same stream, new config
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memsys.backends import AccessReport, MemoryBackend
+from repro.memsys.counters import AccessContext, AccessKind, Pattern
+
+
+@dataclass
+class RequestTrace:
+    """An ordered LLC request stream with its execution context."""
+
+    #: Concatenated line addresses of every request.
+    lines: np.ndarray
+    #: Per-batch extents into ``lines``: (start, end).
+    extents: np.ndarray  # shape (n, 2), int64
+    #: Per-batch request kind: 0 = LLC read, 1 = LLC write.
+    kinds: np.ndarray
+    #: Per-batch sampling weight.
+    weights: np.ndarray
+    #: The (single) access context the stream ran under.
+    ctx: AccessContext
+
+    def __len__(self) -> int:
+        return int(self.extents.shape[0])
+
+    @property
+    def total_requests(self) -> int:
+        return int(self.lines.size)
+
+    def batch(self, index: int) -> Tuple[np.ndarray, AccessKind, int]:
+        start, end = self.extents[index]
+        kind = AccessKind.LLC_READ if self.kinds[index] == 0 else AccessKind.LLC_WRITE
+        return self.lines[start:end], kind, int(self.weights[index])
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            lines=self.lines,
+            extents=self.extents,
+            kinds=self.kinds,
+            weights=self.weights,
+            threads=self.ctx.threads,
+            pattern=0 if self.ctx.pattern is Pattern.SEQUENTIAL else 1,
+            granularity=self.ctx.granularity,
+            sockets=self.ctx.sockets,
+            streams=self.ctx.streams,
+        )
+        # np.savez appends .npz only when missing.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestTrace":
+        with np.load(path) as data:
+            ctx = AccessContext(
+                threads=int(data["threads"]),
+                pattern=Pattern.SEQUENTIAL if int(data["pattern"]) == 0 else Pattern.RANDOM,
+                granularity=int(data["granularity"]),
+                sockets=int(data["sockets"]),
+                streams=int(data["streams"]),
+            )
+            return cls(
+                lines=data["lines"],
+                extents=data["extents"],
+                kinds=data["kinds"],
+                weights=data["weights"],
+                ctx=ctx,
+            )
+
+
+class _TraceBuilder:
+    def __init__(self) -> None:
+        self.chunks: List[np.ndarray] = []
+        self.kinds: List[int] = []
+        self.weights: List[int] = []
+        self.ctx: Optional[AccessContext] = None
+
+    def record(self, lines: np.ndarray, kind: AccessKind, ctx: AccessContext, weight: int) -> None:
+        if self.ctx is None:
+            self.ctx = ctx
+        elif ctx != self.ctx:
+            raise ConfigurationError(
+                "RecordingBackend captures single-context streams; "
+                f"context changed from {self.ctx} to {ctx}"
+            )
+        self.chunks.append(np.asarray(lines, dtype=np.int64).copy())
+        self.kinds.append(0 if kind is AccessKind.LLC_READ else 1)
+        self.weights.append(weight)
+
+    def build(self) -> RequestTrace:
+        if self.ctx is None:
+            raise ConfigurationError("nothing recorded")
+        sizes = np.array([c.size for c in self.chunks], dtype=np.int64)
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        return RequestTrace(
+            lines=np.concatenate(self.chunks) if self.chunks else np.empty(0, np.int64),
+            extents=np.stack([starts, ends], axis=1),
+            kinds=np.array(self.kinds, dtype=np.int8),
+            weights=np.array(self.weights, dtype=np.int64),
+            ctx=self.ctx,
+        )
+
+
+class RecordingBackend:
+    """Wraps a backend, forwarding accesses while recording them."""
+
+    def __init__(self, inner: MemoryBackend) -> None:
+        self.inner = inner
+        self._builder = _TraceBuilder()
+
+    # Delegate the backend surface.
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    @property
+    def timing(self):
+        return self.inner.timing
+
+    def epoch(self, ctx: AccessContext):
+        return self.inner.epoch(ctx)
+
+    def access(
+        self,
+        lines,
+        kind: AccessKind,
+        ctx: AccessContext,
+        advance: bool = True,
+        weight: int = 1,
+    ) -> AccessReport:
+        report = self.inner.access(lines, kind, ctx, advance=advance, weight=weight)
+        self._builder.record(lines, kind, ctx, weight)
+        return report
+
+    @property
+    def trace(self) -> RequestTrace:
+        return self._builder.build()
+
+
+def replay(trace: RequestTrace, backend: MemoryBackend, epoch_batches: int = 64):
+    """Replay a recorded stream against another backend.
+
+    Batches are grouped into epochs of ``epoch_batches`` so replay gets
+    the same overlapped-timing treatment as live execution.  Returns the
+    backend's counter snapshot delta for the replay.
+    """
+    if epoch_batches < 1:
+        raise ConfigurationError("epoch_batches must be >= 1")
+    start = backend.counters.snapshot()
+    for begin in range(0, len(trace), epoch_batches):
+        with backend.epoch(trace.ctx):
+            for index in range(begin, min(begin + epoch_batches, len(trace))):
+                lines, kind, weight = trace.batch(index)
+                backend.access(lines, kind, trace.ctx, weight=weight)
+    return backend.counters.snapshot().delta(start)

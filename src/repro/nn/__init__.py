@@ -1,0 +1,31 @@
+"""A miniature ngraph: static computation graphs for CNN training.
+
+The paper's first case study (Section V) trains Inception v4,
+ResNet 200, and DenseNet 264 under Intel's ngraph compiler, with all
+intermediate tensors placed in one large pre-allocated buffer.  This
+package reproduces that pipeline: a static graph IR with per-op
+flops/bytes cost models, autodiff to build the training (forward +
+backward) schedule, liveness analysis, an offset-assigning memory
+planner, and an executor that streams every tensor access through a
+simulated memory backend at cache-line granularity.
+"""
+
+from repro.nn.ir import Graph, Op, OpKind, Tensor
+from repro.nn.autodiff import build_training_graph
+from repro.nn.liveness import TensorLife, analyze_liveness
+from repro.nn.planner import MemoryPlan, plan_memory
+from repro.nn.executor import ExecutionResult, execute_iteration
+
+__all__ = [
+    "ExecutionResult",
+    "Graph",
+    "MemoryPlan",
+    "Op",
+    "OpKind",
+    "Tensor",
+    "TensorLife",
+    "analyze_liveness",
+    "build_training_graph",
+    "execute_iteration",
+    "plan_memory",
+]

@@ -1,0 +1,247 @@
+"""Backward-pass construction (reverse-mode autodiff over the IR).
+
+Training a CNN runs the forward graph, then a backward pass computing
+the loss gradient with respect to every trainable weight.  The paper's
+key structural observation (Section V-B) falls out of this construction:
+*many forward intermediates must be preserved for their backward op*, so
+live memory accumulates during the forward pass and drains during the
+backward pass — and the backward pass writes fresh temporaries into
+regions that are semantically dead but dirty in the DRAM cache.
+
+Conventions:
+
+* Every forward op gets gradient op(s) reading the output gradient plus
+  whichever forward values the math needs (conv filter backprop reads
+  the saved input; ReLU backprop reads the saved output; ...).
+* Convolution backprop is split into data and filter kernels, as in
+  ngraph (the paper names "the back-propagation kernels for the
+  filter/bias inputs of 3x3 convolutions" among the bottlenecks).
+* Gradient contributions from multiple consumers are summed with
+  explicit accumulation ops.
+* Each weight gets an SGD update op once its gradient is final.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.nn.ir import Graph, Op, OpKind, Tensor
+
+
+@dataclass(frozen=True)
+class TrainingGraph:
+    """A forward graph extended with its backward pass."""
+
+    graph: Graph
+    #: Index of the first backward op in ``graph.ops``.
+    backward_start: int
+
+    @property
+    def forward_ops(self) -> List[Op]:
+        return self.graph.ops[: self.backward_start]
+
+    @property
+    def backward_ops(self) -> List[Op]:
+        return self.graph.ops[self.backward_start :]
+
+
+class _GradientMap:
+    """Tracks accumulated gradient tensors per forward tensor."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._grads: Dict[Tensor, Tensor] = {}
+        self._acc_counter = 0
+
+    def get(self, tensor: Tensor) -> Tensor | None:
+        return self._grads.get(tensor)
+
+    def contribute(self, tensor: Tensor, grad: Tensor) -> None:
+        """Add a gradient contribution, emitting a sum op if needed."""
+        existing = self._grads.get(tensor)
+        if existing is None:
+            self._grads[tensor] = grad
+            return
+        self._acc_counter += 1
+        total = self._graph.tensor(
+            f"d_{tensor.name}_acc{self._acc_counter}", tensor.shape
+        )
+        self._graph.add_op(
+            f"GradSum_{self._acc_counter}",
+            OpKind.ADD_BACKPROP,
+            [existing, grad],
+            [total],
+            flops=float(tensor.elements),
+        )
+        self._grads[tensor] = total
+
+
+def build_training_graph(graph: Graph, loss: Tensor | None = None) -> TrainingGraph:
+    """Append the backward pass for ``loss`` to ``graph``.
+
+    Returns a :class:`TrainingGraph`; the input graph is extended in
+    place (matching ngraph, which compiles one combined schedule).  When
+    ``loss`` is omitted, the output of the graph's softmax-loss op is
+    used.
+    """
+    if any(op.kind.is_backward for op in graph.ops):
+        raise ConfigurationError(
+            "graph already contains a backward pass; build_training_graph "
+            "extends the graph in place and must be called once"
+        )
+    if loss is None:
+        losses = [op for op in graph.ops if op.kind is OpKind.SOFTMAX_LOSS]
+        if len(losses) != 1:
+            raise ConfigurationError(
+                f"expected exactly one softmax-loss op, found {len(losses)}"
+            )
+        loss = losses[0].outputs[0]
+    if loss.producer is None or loss.producer.kind is not OpKind.SOFTMAX_LOSS:
+        raise ConfigurationError("loss must be produced by a softmax-loss op")
+
+    backward_start = len(graph.ops)
+    grads = _GradientMap(graph)
+    counter = 0
+
+    def grad_tensor(tensor: Tensor, stem: str) -> Tensor:
+        nonlocal counter
+        counter += 1
+        return graph.tensor(f"d{counter}_{stem}_{tensor.name}", tensor.shape)
+
+    for op in reversed(graph.ops[:backward_start]):
+        if op.kind is OpKind.PARAMETER:
+            continue
+        if op.kind is OpKind.SOFTMAX_LOSS:
+            logits = op.inputs[0]
+            d_logits = grad_tensor(logits, "loss")
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.SOFTMAX_LOSS,
+                [logits],
+                [d_logits],
+                flops=float(5 * logits.elements),
+            )
+            grads.contribute(logits, d_logits)
+            continue
+
+        d_out = grads.get(op.outputs[0])
+        if d_out is None:
+            continue  # dead branch: nothing downstream reached the loss
+
+        if op.kind is OpKind.CONV:
+            x, w = op.inputs
+            d_x = grad_tensor(x, "cd")
+            graph.add_op(
+                f"{op.name}_BackpropData",
+                OpKind.CONV_BACKPROP_DATA,
+                [d_out, w],
+                [d_x],
+                flops=op.flops,
+            )
+            grads.contribute(x, d_x)
+            d_w = graph.tensor(f"d_{w.name}", w.shape, weight=True)
+            graph.add_op(
+                f"{op.name}_BackpropFilter",
+                OpKind.CONV_BACKPROP_FILTER,
+                [d_out, x],
+                [d_w],
+                flops=op.flops,
+            )
+            _sgd_update(graph, op.name, w, d_w)
+        elif op.kind is OpKind.ATTENTION:
+            a, b = op.inputs
+            d_a = grad_tensor(a, "atA")
+            d_b = grad_tensor(b, "atB")
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.ATTENTION_BACKPROP,
+                [d_out, a, b],
+                [d_a, d_b],
+                flops=2.0 * op.flops,
+            )
+            grads.contribute(a, d_a)
+            grads.contribute(b, d_b)
+        elif op.kind is OpKind.MATMUL:
+            x, w = op.inputs
+            d_x = grad_tensor(x, "mm")
+            d_w = graph.tensor(f"d_{w.name}", w.shape, weight=True)
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.MATMUL_BACKPROP,
+                [d_out, x, w],
+                [d_x, d_w],
+                flops=2.0 * op.flops,
+            )
+            grads.contribute(x, d_x)
+            _sgd_update(graph, op.name, w, d_w)
+        elif op.kind is OpKind.BATCH_NORM:
+            x, scale = op.inputs
+            d_x = grad_tensor(x, "bn")
+            d_scale = graph.tensor(f"d_{scale.name}", scale.shape, weight=True)
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.BATCH_NORM_BACKPROP,
+                [d_out, x, scale],
+                [d_x, d_scale],
+                flops=12.0 * x.elements,
+            )
+            grads.contribute(x, d_x)
+            _sgd_update(graph, op.name, scale, d_scale)
+        elif op.kind is OpKind.RELU:
+            (x,) = op.inputs
+            y = op.outputs[0]
+            d_x = grad_tensor(x, "relu")
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.RELU_BACKPROP,
+                [d_out, y],
+                [d_x],
+                flops=float(x.elements),
+            )
+            grads.contribute(x, d_x)
+        elif op.kind is OpKind.POOL:
+            (x,) = op.inputs
+            d_x = grad_tensor(x, "pool")
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.POOL_BACKPROP,
+                [d_out, x],
+                [d_x],
+                flops=float(x.elements),
+            )
+            grads.contribute(x, d_x)
+        elif op.kind is OpKind.CONCAT:
+            d_inputs = [grad_tensor(x, "cc") for x in op.inputs]
+            graph.add_op(
+                f"{op.name}_Backprop",
+                OpKind.CONCAT_BACKPROP,
+                [d_out],
+                d_inputs,
+                flops=0.0,
+            )
+            for x, d_x in zip(op.inputs, d_inputs):
+                grads.contribute(x, d_x)
+        elif op.kind is OpKind.ADD:
+            # d/da (a + b) = d/db (a + b) = dY: alias, no kernel needed.
+            for x in op.inputs:
+                grads.contribute(x, d_out)
+        else:
+            raise ConfigurationError(
+                f"no backward rule for op kind {op.kind.value!r}"
+            )
+
+    return TrainingGraph(graph=graph, backward_start=backward_start)
+
+
+def _sgd_update(graph: Graph, stem: str, weight: Tensor, grad: Tensor) -> None:
+    # The update is in place (w -= lr * dw): the op reads both tensors
+    # and rewrites the weight; no new storage is allocated.
+    graph.add_op(
+        f"{stem}_SGD",
+        OpKind.SGD_UPDATE,
+        [weight, grad],
+        [],
+        flops=2.0 * weight.elements,
+    )

@@ -1,0 +1,205 @@
+"""Static computation-graph IR.
+
+Networks are directed acyclic graphs of ops over named tensors, built
+once before execution (the paper targets *static* networks where "the
+structure of the network and sizes of intermediate tensors are fully
+known ahead of time", Section VII-A1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class OpKind(enum.Enum):
+    """Operator taxonomy with distinct cost behaviour.
+
+    The compute-heavy kinds (CONV, MATMUL) are flops-dominated; the
+    memory-bound kinds (CONCAT, BATCH_NORM, ...) have "little data
+    reuse" and bottleneck on bandwidth (Section V-C).
+    """
+
+    PARAMETER = "parameter"  # network input / trainable weight source
+    CONV = "conv"
+    MATMUL = "matmul"
+    #: Batched matmul of two *activations* (attention scores/context).
+    ATTENTION = "attention"
+    BATCH_NORM = "batch_norm"
+    RELU = "relu"
+    POOL = "pool"
+    CONCAT = "concat"
+    ADD = "add"
+    SOFTMAX_LOSS = "softmax_loss"
+    # Backward-pass kinds (created by autodiff).
+    CONV_BACKPROP_DATA = "conv_backprop_data"
+    CONV_BACKPROP_FILTER = "conv_backprop_filter"
+    MATMUL_BACKPROP = "matmul_backprop"
+    ATTENTION_BACKPROP = "attention_backprop"
+    BATCH_NORM_BACKPROP = "batch_norm_backprop"
+    RELU_BACKPROP = "relu_backprop"
+    POOL_BACKPROP = "pool_backprop"
+    CONCAT_BACKPROP = "concat_backprop"
+    ADD_BACKPROP = "add_backprop"
+    SGD_UPDATE = "sgd_update"
+    # Explicit data movement (inserted by AutoTM).
+    MOVE = "move"
+
+    @property
+    def is_backward(self) -> bool:
+        return "backprop" in self.value or self is OpKind.SGD_UPDATE
+
+
+#: Kinds whose cost is dominated by arithmetic rather than memory.
+COMPUTE_BOUND_KINDS = frozenset(
+    {
+        OpKind.CONV,
+        OpKind.MATMUL,
+        OpKind.ATTENTION,
+        OpKind.CONV_BACKPROP_DATA,
+        OpKind.CONV_BACKPROP_FILTER,
+        OpKind.MATMUL_BACKPROP,
+        OpKind.ATTENTION_BACKPROP,
+    }
+)
+
+
+@dataclass(eq=False)
+class Tensor:
+    """A value flowing through the graph.
+
+    ``weight=True`` marks trainable parameters and their gradients /
+    optimizer state: persistent across iterations, unlike activations.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype_bytes: int = 4
+    weight: bool = False
+    producer: Optional["Op"] = None
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.shape):
+            raise ConfigurationError(f"tensor {self.name!r} has empty shape {self.shape}")
+        if self.dtype_bytes <= 0:
+            raise ConfigurationError("dtype_bytes must be positive")
+
+    @property
+    def elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elements * self.dtype_bytes
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name!r}, {self.shape})"
+
+
+@dataclass(eq=False)
+class Op:
+    """One compute kernel: reads ``inputs``, produces ``outputs``."""
+
+    name: str
+    kind: OpKind
+    inputs: List[Tensor] = field(default_factory=list)
+    outputs: List[Tensor] = field(default_factory=list)
+    #: Floating-point operations this kernel performs.
+    flops: float = 0.0
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.inputs)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.outputs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_bytes + self.output_bytes
+
+    def __repr__(self) -> str:
+        return f"Op({self.name!r}, {self.kind.value})"
+
+
+class Graph:
+    """A topologically ordered op list (the execution schedule)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ops: List[Op] = []
+        self._tensor_names: Dict[str, Tensor] = {}
+
+    def tensor(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        *,
+        weight: bool = False,
+        dtype_bytes: int = 4,
+    ) -> Tensor:
+        """Create a uniquely named tensor."""
+        if name in self._tensor_names:
+            raise ConfigurationError(f"duplicate tensor name {name!r}")
+        tensor = Tensor(name=name, shape=shape, weight=weight, dtype_bytes=dtype_bytes)
+        self._tensor_names[name] = tensor
+        return tensor
+
+    def add_op(
+        self,
+        name: str,
+        kind: OpKind,
+        inputs: Iterable[Tensor],
+        outputs: Iterable[Tensor],
+        flops: float = 0.0,
+    ) -> Op:
+        """Append an op to the schedule; inputs must already be produced."""
+        inputs = list(inputs)
+        outputs = list(outputs)
+        for tensor in inputs:
+            if tensor.producer is None and not tensor.weight:
+                raise ConfigurationError(
+                    f"op {name!r} reads tensor {tensor.name!r} before it is produced"
+                )
+        op = Op(name=name, kind=kind, inputs=inputs, outputs=outputs, flops=flops)
+        for tensor in outputs:
+            if tensor.producer is not None:
+                raise ConfigurationError(
+                    f"tensor {tensor.name!r} produced twice ({tensor.producer.name!r} "
+                    f"and {name!r})"
+                )
+            tensor.producer = op
+        self.ops.append(op)
+        return op
+
+    @property
+    def tensors(self) -> List[Tensor]:
+        return list(self._tensor_names.values())
+
+    @property
+    def weights(self) -> List[Tensor]:
+        return [t for t in self.tensors if t.weight]
+
+    @property
+    def activations(self) -> List[Tensor]:
+        return [t for t in self.tensors if not t.weight]
+
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self.ops)
+
+    def stats(self) -> Dict[str, float]:
+        """Summary used by reports and examples."""
+        return {
+            "ops": len(self.ops),
+            "tensors": len(self.tensors),
+            "weight_bytes": sum(t.size_bytes for t in self.weights),
+            "activation_bytes": sum(t.size_bytes for t in self.activations),
+            "flops": self.total_flops(),
+        }

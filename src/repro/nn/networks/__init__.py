@@ -1,0 +1,16 @@
+"""The paper's three CNN workloads (Section V-A).
+
+Builders return forward graphs; pass them through
+:func:`repro.nn.autodiff.build_training_graph` to obtain the training
+schedule.  Batch sizes are chosen so the planned memory footprint
+exceeds the (scaled) DRAM-cache capacity, exactly as the paper "scaled
+the training batch size until the overall footprint ... exceeded
+650 GB".
+"""
+
+from repro.nn.networks.densenet import densenet264
+from repro.nn.networks.resnet import resnet200
+from repro.nn.networks.inception import inception_v4
+from repro.nn.networks.transformer import gpt_like
+
+__all__ = ["densenet264", "gpt_like", "inception_v4", "resnet200"]

@@ -1,0 +1,68 @@
+"""DenseNet-264 (Huang et al.), the paper's deep-dive workload.
+
+Each dense layer is the kernel sequence the paper describes (Section
+V-C): "a sequence of Concat, BatchNorm, Conv, BatchNorm, and Conv" —
+a bottleneck 1x1 convolution producing ``bn_size * growth`` channels
+followed by a 3x3 convolution producing ``growth`` channels, with the
+layer's input being the concatenation of every earlier feature map in
+the block.  The Concat and the first BatchNorm run over the wide
+concatenated tensor, which is why they dominate the bandwidth profile
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn.ir import Graph, Tensor
+from repro.nn.ops import GraphBuilder
+
+#: DenseNet-264 block configuration (dense layers per block).
+BLOCK_CONFIG: Tuple[int, ...] = (6, 12, 64, 48)
+GROWTH_RATE = 32
+BN_SIZE = 4  # bottleneck width multiplier
+INIT_FEATURES = 64
+COMPRESSION = 0.5
+
+
+def _dense_layer(b: GraphBuilder, features: list[Tensor]) -> Tensor:
+    """Concat -> BN -> ReLU -> Conv1x1 -> BN -> ReLU -> Conv3x3."""
+    x = features[0] if len(features) == 1 else b.concat(features)
+    bottleneck = b.bn_relu_conv(x, BN_SIZE * GROWTH_RATE, kernel=1)
+    return b.bn_relu_conv(bottleneck, GROWTH_RATE, kernel=3)
+
+
+def _transition(b: GraphBuilder, features: list[Tensor]) -> Tensor:
+    x = features[0] if len(features) == 1 else b.concat(features)
+    channels = max(1, int(x.shape[1] * COMPRESSION))
+    x = b.bn_relu_conv(x, channels, kernel=1)
+    return b.pool(x, kernel=2, stride=2)
+
+
+def densenet264(
+    batch: int,
+    image_size: int = 224,
+    classes: int = 1000,
+    block_config: Tuple[int, ...] = BLOCK_CONFIG,
+    weight_scale: int = 1024,
+) -> Graph:
+    """Build the DenseNet-264 forward graph."""
+    b = GraphBuilder(f"densenet264_b{batch}", batch, weight_scale)
+    x = b.input(3, image_size, image_size)
+    x = b.conv_bn_relu(x, INIT_FEATURES, kernel=7, stride=2, padding=3)
+    x = b.pool(x, kernel=3, stride=2, padding=1)
+
+    for block_index, num_layers in enumerate(block_config):
+        features = [x]
+        for _ in range(num_layers):
+            features.append(_dense_layer(b, features))
+        if block_index < len(block_config) - 1:
+            x = _transition(b, features)
+        else:
+            x = b.concat(features)
+
+    x = b.relu(b.batch_norm(x))
+    x = b.global_pool(x)
+    x = b.matmul(x, classes)
+    b.softmax_loss(x)
+    return b.graph

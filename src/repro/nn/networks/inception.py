@@ -1,0 +1,143 @@
+"""Inception v4 (Szegedy et al.).
+
+Faithful block structure — stem, 4x Inception-A, Reduction-A,
+7x Inception-B, Reduction-B, 3x Inception-C — with the multi-branch
+concatenations that make the network concat-heavy.
+"""
+
+from __future__ import annotations
+
+from repro.nn.ir import Graph, Tensor
+from repro.nn.ops import GraphBuilder
+
+
+def _stem(b: GraphBuilder, x: Tensor) -> Tensor:
+    x = b.conv_bn_relu(x, 32, kernel=3, stride=2, padding=0)
+    x = b.conv_bn_relu(x, 32, kernel=3, padding=0)
+    x = b.conv_bn_relu(x, 64, kernel=3)
+    pooled = b.pool(x, kernel=3, stride=2, padding=0)
+    conv = b.conv_bn_relu(x, 96, kernel=3, stride=2, padding=0)
+    x = b.concat([pooled, conv])
+
+    left = b.conv_bn_relu(x, 64, kernel=1)
+    left = b.conv_bn_relu(left, 96, kernel=3, padding=0)
+    right = b.conv_bn_relu(x, 64, kernel=1)
+    right = b.conv_bn_relu(right, 64, kernel=(1, 7))
+    right = b.conv_bn_relu(right, 64, kernel=(7, 1))
+    right = b.conv_bn_relu(right, 96, kernel=3, padding=0)
+    x = b.concat([left, right])
+
+    conv = b.conv_bn_relu(x, 192, kernel=3, stride=2, padding=0)
+    pooled = b.pool(x, kernel=3, stride=2, padding=0)
+    return b.concat([conv, pooled])
+
+
+def _inception_a(b: GraphBuilder, x: Tensor) -> Tensor:
+    branch1 = b.conv_bn_relu(x, 96, kernel=1)
+    branch2 = b.conv_bn_relu(b.conv_bn_relu(x, 64, kernel=1), 96, kernel=3)
+    branch3 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, 64, kernel=1), 96, kernel=3), 96, kernel=3
+    )
+    branch4 = b.conv_bn_relu(b.pool(x, kernel=3, stride=1, padding=1), 96, kernel=1)
+    return b.concat([branch1, branch2, branch3, branch4])
+
+
+def _reduction_a(b: GraphBuilder, x: Tensor) -> Tensor:
+    branch1 = b.conv_bn_relu(x, 384, kernel=3, stride=2, padding=0)
+    branch2 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, 192, kernel=1), 224, kernel=3),
+        256,
+        kernel=3,
+        stride=2,
+        padding=0,
+    )
+    branch3 = b.pool(x, kernel=3, stride=2, padding=0)
+    return b.concat([branch1, branch2, branch3])
+
+
+def _inception_b(b: GraphBuilder, x: Tensor) -> Tensor:
+    branch1 = b.conv_bn_relu(x, 384, kernel=1)
+    branch2 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, 192, kernel=1), 224, kernel=(1, 7)),
+        256,
+        kernel=(7, 1),
+    )
+    branch3 = b.conv_bn_relu(
+        b.conv_bn_relu(
+            b.conv_bn_relu(
+                b.conv_bn_relu(b.conv_bn_relu(x, 192, kernel=1), 192, kernel=(7, 1)),
+                224,
+                kernel=(1, 7),
+            ),
+            224,
+            kernel=(7, 1),
+        ),
+        256,
+        kernel=(1, 7),
+    )
+    branch4 = b.conv_bn_relu(b.pool(x, kernel=3, stride=1, padding=1), 128, kernel=1)
+    return b.concat([branch1, branch2, branch3, branch4])
+
+
+def _reduction_b(b: GraphBuilder, x: Tensor) -> Tensor:
+    branch1 = b.conv_bn_relu(
+        b.conv_bn_relu(x, 192, kernel=1), 192, kernel=3, stride=2, padding=0
+    )
+    branch2 = b.conv_bn_relu(
+        b.conv_bn_relu(
+            b.conv_bn_relu(b.conv_bn_relu(x, 256, kernel=1), 256, kernel=(1, 7)),
+            320,
+            kernel=(7, 1),
+        ),
+        320,
+        kernel=3,
+        stride=2,
+        padding=0,
+    )
+    branch3 = b.pool(x, kernel=3, stride=2, padding=0)
+    return b.concat([branch1, branch2, branch3])
+
+
+def _inception_c(b: GraphBuilder, x: Tensor) -> Tensor:
+    branch1 = b.conv_bn_relu(x, 256, kernel=1)
+    stem2 = b.conv_bn_relu(x, 384, kernel=1)
+    branch2 = b.concat(
+        [
+            b.conv_bn_relu(stem2, 256, kernel=(1, 3)),
+            b.conv_bn_relu(stem2, 256, kernel=(3, 1)),
+        ]
+    )
+    stem3 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, 384, kernel=1), 448, kernel=(3, 1)),
+        512,
+        kernel=(1, 3),
+    )
+    branch3 = b.concat(
+        [
+            b.conv_bn_relu(stem3, 256, kernel=(1, 3)),
+            b.conv_bn_relu(stem3, 256, kernel=(3, 1)),
+        ]
+    )
+    branch4 = b.conv_bn_relu(b.pool(x, kernel=3, stride=1, padding=1), 256, kernel=1)
+    return b.concat([branch1, branch2, branch3, branch4])
+
+
+def inception_v4(
+    batch: int, image_size: int = 299, classes: int = 1000, weight_scale: int = 1024
+) -> Graph:
+    """Build the Inception v4 forward graph."""
+    b = GraphBuilder(f"inception_v4_b{batch}", batch, weight_scale)
+    x = b.input(3, image_size, image_size)
+    x = _stem(b, x)
+    for _ in range(4):
+        x = _inception_a(b, x)
+    x = _reduction_a(b, x)
+    for _ in range(7):
+        x = _inception_b(b, x)
+    x = _reduction_b(b, x)
+    for _ in range(3):
+        x = _inception_c(b, x)
+    x = b.global_pool(x)
+    x = b.matmul(x, classes)
+    b.softmax_loss(x)
+    return b.graph

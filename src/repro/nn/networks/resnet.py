@@ -1,0 +1,48 @@
+"""ResNet-200 (He et al.), bottleneck-block residual network.
+
+Block configuration (3, 24, 36, 3) with expansion 4 gives the 200-layer
+variant the paper trains (Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn.ir import Graph, Tensor
+from repro.nn.ops import GraphBuilder
+
+#: Bottleneck blocks per stage for ResNet-200.
+BLOCK_CONFIG: Tuple[int, ...] = (3, 24, 36, 3)
+STAGE_CHANNELS: Tuple[int, ...] = (64, 128, 256, 512)
+EXPANSION = 4
+
+
+def _bottleneck(b: GraphBuilder, x: Tensor, channels: int, stride: int) -> Tensor:
+    out_channels = channels * EXPANSION
+    shortcut = x
+    if stride != 1 or x.shape[1] != out_channels:
+        shortcut = b.batch_norm(b.conv(x, out_channels, kernel=1, stride=stride, padding=0))
+    y = b.conv_bn_relu(x, channels, kernel=1, padding=0)
+    y = b.conv_bn_relu(y, channels, kernel=3, stride=stride)
+    y = b.batch_norm(b.conv(y, out_channels, kernel=1, padding=0))
+    return b.relu(b.add(y, shortcut))
+
+
+def resnet200(
+    batch: int, image_size: int = 224, classes: int = 1000, weight_scale: int = 1024
+) -> Graph:
+    """Build the ResNet-200 forward graph."""
+    b = GraphBuilder(f"resnet200_b{batch}", batch, weight_scale)
+    x = b.input(3, image_size, image_size)
+    x = b.conv_bn_relu(x, 64, kernel=7, stride=2, padding=3)
+    x = b.pool(x, kernel=3, stride=2, padding=1)
+
+    for stage, (blocks, channels) in enumerate(zip(BLOCK_CONFIG, STAGE_CHANNELS)):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _bottleneck(b, x, channels, stride)
+
+    x = b.global_pool(x)
+    x = b.matmul(x, classes)
+    b.softmax_loss(x)
+    return b.graph

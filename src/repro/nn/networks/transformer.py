@@ -1,0 +1,150 @@
+"""GPT-style decoder-only transformer (extension workload).
+
+The paper opens with "emerging machine learning models in NLP ...
+(such as GPT3)" needing hundreds of GB for training, but evaluates only
+CNNs.  This builder produces a decoder-only transformer training graph
+(pre-norm residual blocks with self-attention and a 4x MLP) whose
+dominant live state is the per-layer attention and activation tensors
+saved for the backward pass — the same footprint structure at a very
+different kernel mix, exercising the 2LM cache and AutoTM on an
+attention-bound schedule.
+
+Shape conventions: activations are (batch, seq, features) except
+attention scores, which are (batch, heads, seq, seq).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nn.ir import Graph, OpKind, Tensor
+
+
+class _TransformerBuilder:
+    """Minimal op emission for sequence models."""
+
+    def __init__(self, name: str, weight_scale: int) -> None:
+        self.graph = Graph(name)
+        self.weight_scale = weight_scale
+        self._counter = 0
+
+    def _name(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    def _weight(self, stem: str, shape) -> Tensor:
+        scaled = (max(1, shape[0] // self.weight_scale),) + tuple(shape[1:])
+        return self.graph.tensor(self._name(stem), scaled, weight=True)
+
+    def tensor(self, stem: str, shape) -> Tensor:
+        return self.graph.tensor(self._name(stem), tuple(shape))
+
+    def input(self, batch: int, seq: int, d_model: int) -> Tensor:
+        x = self.tensor("embeddings", (batch, seq, d_model))
+        self.graph.add_op(self._name("parameter"), OpKind.PARAMETER, [], [x])
+        return x
+
+    def layer_norm(self, x: Tensor) -> Tensor:
+        scale = self._weight("ln_scale", (2, x.shape[-1]))
+        out = self.tensor("ln_out", x.shape)
+        self.graph.add_op(
+            self._name("LayerNorm"),
+            OpKind.BATCH_NORM,
+            [x, scale],
+            [out],
+            flops=8.0 * x.elements,
+        )
+        return out
+
+    def linear(self, x: Tensor, out_features: int, stem: str = "W") -> Tensor:
+        batch, seq, in_features = x.shape
+        weight = self._weight(stem, (in_features, out_features))
+        out = self.tensor("linear_out", (batch, seq, out_features))
+        self.graph.add_op(
+            self._name("Linear"),
+            OpKind.MATMUL,
+            [x, weight],
+            [out],
+            flops=2.0 * batch * seq * in_features * out_features,
+        )
+        return out
+
+    def attention_matmul(self, a: Tensor, b: Tensor, out_shape, flops: float) -> Tensor:
+        out = self.tensor("attn_out", out_shape)
+        self.graph.add_op(
+            self._name("Attention"), OpKind.ATTENTION, [a, b], [out], flops=flops
+        )
+        return out
+
+    def gelu(self, x: Tensor) -> Tensor:
+        out = self.tensor("gelu_out", x.shape)
+        self.graph.add_op(
+            self._name("Gelu"), OpKind.RELU, [x], [out], flops=8.0 * float(x.elements)
+        )
+        return out
+
+    def softmax(self, x: Tensor) -> Tensor:
+        out = self.tensor("softmax_out", x.shape)
+        self.graph.add_op(
+            self._name("Softmax"), OpKind.RELU, [x], [out], flops=5.0 * float(x.elements)
+        )
+        return out
+
+    def add(self, a: Tensor, b: Tensor) -> Tensor:
+        out = self.tensor("residual", a.shape)
+        self.graph.add_op(
+            self._name("Add"), OpKind.ADD, [a, b], [out], flops=float(a.elements)
+        )
+        return out
+
+
+def gpt_like(
+    batch: int,
+    seq_len: int = 256,
+    layers: int = 24,
+    d_model: int = 1024,
+    heads: int = 16,
+    vocab: int = 8192,
+    weight_scale: int = 1024,
+) -> Graph:
+    """Build a decoder-only transformer training (forward) graph."""
+    if batch < 1 or seq_len < 1 or layers < 1:
+        raise ConfigurationError("batch, seq_len and layers must be >= 1")
+    if d_model % heads:
+        raise ConfigurationError("d_model must divide into heads")
+
+    b = _TransformerBuilder(f"gpt_like_b{batch}_s{seq_len}_l{layers}", weight_scale)
+    x = b.input(batch, seq_len, d_model)
+
+    for _ in range(layers):
+        normed = b.layer_norm(x)
+        qkv = b.linear(normed, 3 * d_model, stem="Wqkv")
+        # scores = Q K^T: (B, H, S, S), 2*B*S*S*D flops.
+        scores = b.attention_matmul(
+            qkv, qkv, (batch, heads, seq_len, seq_len),
+            flops=2.0 * batch * seq_len * seq_len * d_model,
+        )
+        probs = b.softmax(scores)
+        # context = probs V: back to (B, S, D).
+        context = b.attention_matmul(
+            probs, qkv, (batch, seq_len, d_model),
+            flops=2.0 * batch * seq_len * seq_len * d_model,
+        )
+        projected = b.linear(context, d_model, stem="Wproj")
+        x = b.add(x, projected)
+
+        normed2 = b.layer_norm(x)
+        hidden = b.gelu(b.linear(normed2, 4 * d_model, stem="Wff1"))
+        down = b.linear(hidden, d_model, stem="Wff2")
+        x = b.add(x, down)
+
+    final = b.layer_norm(x)
+    logits = b.linear(final, vocab, stem="Wlm")
+    loss = b.tensor("loss", (batch,))
+    b.graph.add_op(
+        b._name("SoftmaxLoss"),
+        OpKind.SOFTMAX_LOSS,
+        [logits],
+        [loss],
+        flops=5.0 * float(logits.elements),
+    )
+    return b.graph

@@ -1,0 +1,205 @@
+"""Layer-level graph construction with shape inference and flop counts.
+
+:class:`GraphBuilder` is the API the network definitions use: each
+method appends one forward op with NCHW shape inference and an
+arithmetic-cost estimate.  Cost conventions:
+
+* conv:    2 * N * C_out * H_out * W_out * C_in * k * k flops
+* matmul:  2 * N * C_in * C_out flops
+* batch norm (training): ~8 flops/element — memory bound
+* concat:  0 flops — pure data movement (the paper's canonical
+  bandwidth-bound kernel, Section V-C)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.nn.ir import Graph, OpKind, Tensor
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ConfigurationError(
+            f"convolution collapses dimension {size} (k={kernel}, s={stride}, p={padding})"
+        )
+    return out
+
+
+class GraphBuilder:
+    """Fluent construction of forward CNN graphs.
+
+    ``weight_scale`` shrinks weight-tensor *extents* (not their flop
+    counts, which are specified per op) by the platform scale factor.
+    Activations scale naturally with the batch size, but weights do not;
+    on the paper's hardware weights are ~0.1 % of DRAM, and scaling
+    their storage keeps that ratio on a scaled platform.
+    """
+
+    def __init__(self, name: str, batch: int, weight_scale: int = 1024) -> None:
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        if weight_scale < 1:
+            raise ConfigurationError(f"weight_scale must be >= 1, got {weight_scale}")
+        self.graph = Graph(name)
+        self.batch = batch
+        self.weight_scale = weight_scale
+        self._counter = 0
+
+    def _name(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    # -- graph inputs --------------------------------------------------------
+
+    def input(self, channels: int, height: int, width: int) -> Tensor:
+        """The training-batch input tensor."""
+        tensor = self.graph.tensor(
+            self._name("input"), (self.batch, channels, height, width)
+        )
+        self.graph.add_op(self._name("parameter"), OpKind.PARAMETER, [], [tensor])
+        return tensor
+
+    def _weight(self, stem: str, shape: Tuple[int, ...]) -> Tensor:
+        scaled = (max(1, shape[0] // self.weight_scale),) + shape[1:]
+        return self.graph.tensor(self._name(stem), scaled, weight=True)
+
+    # -- layers -----------------------------------------------------------------
+
+    def conv(
+        self,
+        x: Tensor,
+        out_channels: int,
+        kernel: int | Tuple[int, int],
+        stride: int = 1,
+        padding: int | Tuple[int, int] | None = None,
+    ) -> Tensor:
+        """2-D convolution (no bias; networks use BN instead).
+
+        ``kernel`` may be rectangular, e.g. ``(1, 7)`` for Inception's
+        factorized convolutions.
+        """
+        n, c, h, w = x.shape
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if padding is None:
+            ph, pw = kh // 2, kw // 2  # "same" for stride 1
+        else:
+            ph, pw = (padding, padding) if isinstance(padding, int) else padding
+        oh = _conv_out(h, kh, stride, ph)
+        ow = _conv_out(w, kw, stride, pw)
+        weight = self._weight("filter", (out_channels, c, kh, kw))
+        out = self.graph.tensor(self._name("conv_out"), (n, out_channels, oh, ow))
+        flops = 2.0 * n * out_channels * oh * ow * c * kh * kw
+        self.graph.add_op(
+            self._name("Conv"), OpKind.CONV, [x, weight], [out], flops=flops
+        )
+        return out
+
+    def batch_norm(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        scale = self._weight("bn_scale", (2, c))  # gamma and beta
+        out = self.graph.tensor(self._name("bn_out"), x.shape)
+        self.graph.add_op(
+            self._name("BatchNorm"),
+            OpKind.BATCH_NORM,
+            [x, scale],
+            [out],
+            flops=8.0 * x.elements,
+        )
+        return out
+
+    def relu(self, x: Tensor) -> Tensor:
+        out = self.graph.tensor(self._name("relu_out"), x.shape)
+        self.graph.add_op(
+            self._name("ReLU"), OpKind.RELU, [x], [out], flops=float(x.elements)
+        )
+        return out
+
+    def pool(self, x: Tensor, kernel: int, stride: int, padding: int = 0) -> Tensor:
+        n, c, h, w = x.shape
+        oh = _conv_out(h, kernel, stride, padding)
+        ow = _conv_out(w, kernel, stride, padding)
+        out = self.graph.tensor(self._name("pool_out"), (n, c, oh, ow))
+        self.graph.add_op(
+            self._name("Pool"),
+            OpKind.POOL,
+            [x],
+            [out],
+            flops=float(out.elements * kernel * kernel),
+        )
+        return out
+
+    def global_pool(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        out = self.graph.tensor(self._name("gpool_out"), (n, c, 1, 1))
+        self.graph.add_op(
+            self._name("GlobalPool"), OpKind.POOL, [x], [out], flops=float(x.elements)
+        )
+        return out
+
+    def concat(self, xs: Sequence[Tensor]) -> Tensor:
+        """Channel-dimension concatenation — zero flops, pure bandwidth."""
+        if not xs:
+            raise ConfigurationError("concat needs at least one input")
+        n, _, h, w = xs[0].shape
+        for x in xs[1:]:
+            if x.shape[0] != n or x.shape[2:] != (h, w):
+                raise ConfigurationError("concat inputs must agree on N, H, W")
+        channels = sum(x.shape[1] for x in xs)
+        out = self.graph.tensor(self._name("concat_out"), (n, channels, h, w))
+        self.graph.add_op(self._name("Concat"), OpKind.CONCAT, list(xs), [out])
+        return out
+
+    def add(self, a: Tensor, b: Tensor) -> Tensor:
+        """Elementwise residual addition."""
+        if a.shape != b.shape:
+            raise ConfigurationError(f"add shape mismatch: {a.shape} vs {b.shape}")
+        out = self.graph.tensor(self._name("add_out"), a.shape)
+        self.graph.add_op(
+            self._name("Add"), OpKind.ADD, [a, b], [out], flops=float(a.elements)
+        )
+        return out
+
+    def matmul(self, x: Tensor, out_features: int) -> Tensor:
+        """Fully connected layer over a flattened input."""
+        n = x.shape[0]
+        in_features = x.elements // n
+        weight = self._weight("fc_weight", (in_features, out_features))
+        out = self.graph.tensor(self._name("fc_out"), (n, out_features))
+        self.graph.add_op(
+            self._name("MatMul"),
+            OpKind.MATMUL,
+            [x, weight],
+            [out],
+            flops=2.0 * n * in_features * out_features,
+        )
+        return out
+
+    def softmax_loss(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        loss = self.graph.tensor(self._name("loss"), (n,))
+        self.graph.add_op(
+            self._name("SoftmaxLoss"),
+            OpKind.SOFTMAX_LOSS,
+            [x],
+            [loss],
+            flops=float(5 * x.elements),
+        )
+        return loss
+
+    # -- composite blocks -----------------------------------------------------
+
+    def conv_bn_relu(
+        self, x: Tensor, out_channels: int, kernel: int, stride: int = 1,
+        padding: int | None = None,
+    ) -> Tensor:
+        return self.relu(self.batch_norm(self.conv(x, out_channels, kernel, stride, padding)))
+
+    def bn_relu_conv(
+        self, x: Tensor, out_channels: int, kernel: int, stride: int = 1,
+        padding: int | None = None,
+    ) -> Tensor:
+        """DenseNet-style pre-activation ordering."""
+        return self.conv(self.relu(self.batch_norm(x)), out_channels, kernel, stride, padding)

@@ -1,0 +1,69 @@
+"""Structured export of experiment results.
+
+Experiments carry their numbers in ``ExperimentResult.data`` as a mix of
+dataclasses (Traffic, TagStats), numpy arrays, and plain values; this
+module serializes all of that to JSON so external tooling (plotting,
+regression tracking) can consume the reproduction's output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert simulator values into JSON-compatible types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    # Objects with a usable __dict__ (e.g. Traffic-like classes).
+    if hasattr(value, "__dict__") and value.__dict__:
+        return {
+            k: to_jsonable(v)
+            for k, v in value.__dict__.items()
+            if not k.startswith("_")
+        }
+    return str(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def export_result(result: Any, path: str | Path) -> Path:
+    """Write one ExperimentResult's data (and rendering) as JSON."""
+    path = Path(path)
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "data": to_jsonable(result.data),
+        "rendering": result.render(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,73 @@
+"""Textual rendering of the heap liveness map (the paper's Figure 5d).
+
+Figure 5d plots memory position against time, shading regions that hold
+live data.  This renders the same picture as a character grid: rows are
+memory bands from the bottom of the ngraph buffer upward, columns are
+schedule buckets, and a cell is shaded by the fraction of its band that
+holds live tensors during its bucket.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+_SHADES = " ░▒▓█"
+
+
+def render_memory_map(
+    plan,
+    *,
+    rows: int = 16,
+    width: int = 72,
+    boundary_op: Optional[int] = None,
+) -> str:
+    """Render a MemoryPlan's liveness as an offset-vs-time grid.
+
+    ``boundary_op`` marks the forward/backward boundary with a column
+    of ``|`` characters in the scale row.
+    """
+    num_ops = len(plan.graph.ops)
+    if not plan.lives or not num_ops or not plan.buffer_bytes:
+        return "(empty plan)"
+
+    occupancy = np.zeros((rows, width))
+    coverage = np.zeros((rows, width))  # band-bytes x bucket-ops per cell
+    band_bytes = plan.buffer_bytes / rows
+    bucket_ops = num_ops / width
+
+    for life in plan.lives:
+        start_byte = plan.offsets[life.tensor]
+        end_byte = start_byte + life.tensor.size_bytes
+        row_lo = int(start_byte / band_bytes)
+        row_hi = min(rows - 1, int((end_byte - 1) / band_bytes))
+        col_lo = int(life.start / bucket_ops)
+        col_hi = min(width - 1, int(life.end / bucket_ops))
+        for row in range(row_lo, row_hi + 1):
+            band_lo = row * band_bytes
+            band_hi = band_lo + band_bytes
+            overlap = max(0.0, min(end_byte, band_hi) - max(start_byte, band_lo))
+            occupancy[row, col_lo : col_hi + 1] += overlap
+    coverage[:] = band_bytes
+    fraction = np.clip(occupancy / coverage, 0.0, 1.0)
+
+    lines: List[str] = []
+    for row in range(rows - 1, -1, -1):  # memory position grows upward
+        cells = "".join(
+            _SHADES[min(len(_SHADES) - 1, int(f * (len(_SHADES) - 1) + 0.5))]
+            for f in fraction[row]
+        )
+        label = f"{(row + 1) * band_bytes / 2**20:6.0f}MiB"
+        lines.append(f"{label} |{cells}|")
+
+    axis = [" "] * width
+    if boundary_op is not None and num_ops:
+        marker = min(width - 1, int(boundary_op / bucket_ops))
+        axis[marker] = "|"
+    lines.append(f"{'':6s}    {''.join(axis)}")
+    lines.append(
+        f"{'':6s}    time -> ({num_ops} kernels"
+        + (", | = backward pass starts)" if boundary_op is not None else ")")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Periodic sampling of the uncore counters.
+
+The paper samples hardware performance counters during workload
+execution and plots the deltas (Sections V-A, VI-B).  Executors call
+:meth:`CounterSampler.sample` at natural boundaries (after each compute
+kernel, each graph iteration, ...); the sampler records deltas only,
+matching how PMU data is collected and plotted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.memsys.counters import CounterSnapshot, UncoreCounters
+from repro.perf.trace import Trace, TracePoint
+
+
+class CounterSampler:
+    """Collects labelled counter deltas into a :class:`Trace`."""
+
+    def __init__(self, counters: UncoreCounters) -> None:
+        self.counters = counters
+        self._last: CounterSnapshot = counters.snapshot()
+        self._points: List[TracePoint] = []
+
+    def sample(self, label: Optional[str] = None) -> TracePoint:
+        """Record the delta since the previous sample."""
+        now = self.counters.snapshot()
+        delta = now.delta(self._last)
+        point = TracePoint(
+            start=self._last.time,
+            end=now.time,
+            traffic=delta.traffic,
+            tags=delta.tags,
+            instructions=delta.instructions,
+            label=label,
+        )
+        self._last = now
+        self._points.append(point)
+        return point
+
+    def discard(self) -> None:
+        """Reset the delta baseline without recording a point."""
+        self._last = self.counters.snapshot()
+
+    def trace(self) -> Trace:
+        """The samples collected so far."""
+        return Trace(list(self._points))

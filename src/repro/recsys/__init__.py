@@ -1,0 +1,25 @@
+"""Recommendation-model case study (extension).
+
+The paper's introduction motivates NVRAM with "emerging machine learning
+models in NLP and recommendation engines (such as GPT3 and DLRM)" and
+cites Bandana (Eisenman et al.) — NVM for storing deep-learning
+recommendation models — among the systems driving DRAM cost pressure.
+The evaluation never returns to that workload; this package builds it:
+DLRM-style embedding tables with Zipf-skewed lookups, run in 2LM against
+a Bandana-style software placement that pins the popular rows in DRAM.
+"""
+
+from repro.recsys.embedding import EmbeddingModel, EmbeddingTable, LookupTrace, generate_trace
+from repro.recsys.placement import HotRowPlacement, plan_hot_rows
+from repro.recsys.runner import RecsysResult, run_recsys
+
+__all__ = [
+    "EmbeddingModel",
+    "EmbeddingTable",
+    "HotRowPlacement",
+    "LookupTrace",
+    "RecsysResult",
+    "generate_trace",
+    "plan_hot_rows",
+    "run_recsys",
+]

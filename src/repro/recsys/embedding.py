@@ -1,0 +1,150 @@
+"""DLRM-style embedding tables and Zipf-skewed lookup generation.
+
+A recommendation model's memory footprint is dominated by sparse
+embedding tables — one per categorical feature, each up to hundreds of
+GB — accessed by small random gathers whose popularity follows a heavy
+Zipf law (Naumov et al., DLRM; Eisenman et al., Bandana).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EmbeddingTable:
+    """One categorical feature's embedding table."""
+
+    name: str
+    rows: int
+    dim: int = 64
+    dtype_bytes: int = 4
+    #: Zipf exponent for this feature's popularity (1.0 = classic).
+    alpha: float = 1.05
+    #: Lookups per sample (multi-hot pooling factor).
+    pooling: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.dim < 1 or self.pooling < 1:
+            raise ConfigurationError(f"invalid table geometry for {self.name!r}")
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * self.dtype_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+
+@dataclass
+class EmbeddingModel:
+    """A set of embedding tables plus dense-MLP compute."""
+
+    tables: List[EmbeddingTable]
+    #: Flops of the dense (bottom + top) MLPs per sample.
+    mlp_flops_per_sample: float = 2e6
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.tables)
+
+    @classmethod
+    def dlrm_like(
+        cls,
+        num_tables: int = 26,
+        rows_per_table: int = 160_000,
+        dim: int = 64,
+        alpha: float = 1.05,
+        pooling: int = 32,
+    ) -> "EmbeddingModel":
+        """A DLRM-shaped model: many same-sized Zipf-skewed tables."""
+        tables = [
+            EmbeddingTable(
+                name=f"table_{i}",
+                rows=rows_per_table,
+                dim=dim,
+                alpha=alpha,
+                pooling=pooling,
+            )
+            for i in range(num_tables)
+        ]
+        return cls(tables=tables)
+
+
+@dataclass
+class LookupTrace:
+    """Per-table row indices for a run of batches."""
+
+    model: EmbeddingModel
+    batch_size: int
+    #: ``lookups[b][t]`` — row indices into table t for batch b.
+    lookups: List[List[np.ndarray]] = field(default_factory=list)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.lookups)
+
+    def row_frequencies(self, table_index: int) -> np.ndarray:
+        """How often each row of one table is touched across the trace."""
+        table = self.model.tables[table_index]
+        counts = np.zeros(table.rows, dtype=np.int64)
+        for batch in self.lookups:
+            counts += np.bincount(batch[table_index], minlength=table.rows)
+        return counts
+
+
+def _zipf_rows(table: EmbeddingTable, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Bounded Zipf sampling over a table's rows via inverse CDF."""
+    # P(rank r) ~ r^-alpha over ranks 1..rows; approximate inverse CDF
+    # with the continuous power law, which is accurate for large tables.
+    u = rng.random(count)
+    if abs(table.alpha - 1.0) < 1e-9:
+        ranks = np.exp(u * np.log(table.rows))
+    else:
+        power = 1.0 - table.alpha
+        ranks = (1.0 + u * (table.rows**power - 1.0)) ** (1.0 / power)
+    return np.minimum(ranks.astype(np.int64), table.rows - 1)
+
+
+def popularity_permutation(table: EmbeddingTable, index: int) -> np.ndarray:
+    """The fixed rank-to-row mapping of one table.
+
+    Which rows are popular is a property of the *dataset*, not of a
+    particular trace: every trace over the same model shares these
+    permutations (so a placement learned from a profiling trace
+    transfers to evaluation traces), while hot rows remain scattered
+    through the address space.
+    """
+    rng = np.random.default_rng(0xE0_0000 + index)
+    return rng.permutation(table.rows)
+
+
+def generate_trace(
+    model: EmbeddingModel,
+    batch_size: int,
+    num_batches: int,
+    seed: int = 0,
+) -> LookupTrace:
+    """Generate Zipf-skewed lookups with the model's fixed popularity."""
+    if batch_size < 1 or num_batches < 1:
+        raise ConfigurationError("batch_size and num_batches must be >= 1")
+    rng = np.random.default_rng(seed)
+    permutations = [
+        popularity_permutation(table, i) for i, table in enumerate(model.tables)
+    ]
+    trace = LookupTrace(model=model, batch_size=batch_size)
+    for _ in range(num_batches):
+        per_table = []
+        for t_index, table in enumerate(model.tables):
+            ranks = _zipf_rows(table, batch_size * table.pooling, rng)
+            per_table.append(permutations[t_index][ranks])
+        trace.lookups.append(per_table)
+    return trace

@@ -1,0 +1,149 @@
+"""Tests for the research cache variants (predictor, bypass, prefetch)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import DirectMappedCache
+from repro.cache.research import (
+    BypassCache,
+    MissPredictorCache,
+    NextLinePrefetchCache,
+)
+from repro.errors import ConfigurationError
+
+SETS = 512
+CAP = SETS * 64
+
+
+class TestMissPredictor:
+    def test_perfect_predictor_saves_tag_checks_on_misses(self):
+        cache = MissPredictorCache(CAP, accuracy=1.0)
+        traffic, tags = cache.llc_read(np.arange(100))
+        # Cold misses: no tag-check DRAM read, just fetch + fill.
+        assert traffic.dram_reads == 0
+        assert traffic.nvram_reads == 100
+        assert traffic.dram_writes == 100
+        assert traffic.amplification == 2.0
+        assert tags.clean_misses == 100
+
+    def test_perfect_predictor_hits_match_baseline(self):
+        cache = MissPredictorCache(CAP, accuracy=1.0)
+        cache.llc_read(np.arange(100))
+        traffic, tags = cache.llc_read(np.arange(100))
+        assert traffic.amplification == 1.0
+        assert tags.hits == 100
+
+    def test_zero_accuracy_pays_penalties(self):
+        cache = MissPredictorCache(CAP, accuracy=0.0)
+        cache.llc_read(np.arange(100))  # all mispredicted as hits: checked
+        traffic, _ = cache.llc_read(np.arange(100))  # hits mispredicted as misses
+        # Every actual hit pays a wasted NVRAM read plus the verify read.
+        assert traffic.nvram_reads == 100
+        assert traffic.dram_reads == 100
+
+    def test_dirty_eviction_still_written_back(self):
+        cache = MissPredictorCache(CAP, accuracy=1.0)
+        cache.llc_write(np.arange(100))  # dirty occupants
+        traffic, tags = cache.llc_read(np.arange(SETS, SETS + 100))
+        assert tags.dirty_misses == 100
+        assert traffic.nvram_writes == 100
+
+    def test_state_matches_baseline_after_reads(self):
+        predictor = MissPredictorCache(CAP, accuracy=0.7, seed=3)
+        baseline = DirectMappedCache(CAP)
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, SETS * 3, size=2000)
+        predictor.llc_read(lines)
+        baseline.llc_read(lines)
+        probe = np.arange(SETS * 3)
+        assert np.array_equal(predictor.contains(probe), baseline.contains(probe))
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ConfigurationError):
+            MissPredictorCache(CAP, accuracy=1.5)
+
+
+class TestBypass:
+    def test_full_bypass_never_allocates(self):
+        cache = BypassCache(CAP, insert_probability=0.0)
+        traffic, tags = cache.llc_read(np.arange(100))
+        assert traffic.amplification == 2.0  # tag check + NVRAM read
+        assert traffic.dram_writes == 0
+        assert cache.occupancy == 0.0
+
+    def test_always_insert_matches_baseline(self):
+        bypass = BypassCache(CAP, insert_probability=1.0)
+        baseline = DirectMappedCache(CAP)
+        rng = np.random.default_rng(1)
+        lines = rng.integers(0, SETS * 2, size=3000)
+        t_bypass, g_bypass = bypass.llc_read(lines)
+        t_base, g_base = baseline.llc_read(lines)
+        assert t_bypass == t_base
+        assert g_bypass == g_base
+
+    def test_partial_bypass_reduces_fill_traffic(self):
+        rng = np.random.default_rng(2)
+        lines = rng.integers(0, SETS * 4, size=5000)
+        sparse = BypassCache(CAP, insert_probability=0.1, seed=5)
+        dense = BypassCache(CAP, insert_probability=0.9, seed=5)
+        t_sparse, _ = sparse.llc_read(lines)
+        t_dense, _ = dense.llc_read(lines)
+        assert t_sparse.dram_writes < t_dense.dram_writes
+
+    def test_bypassed_miss_leaves_occupant(self):
+        cache = BypassCache(CAP, insert_probability=0.0)
+        cache.llc_write(np.array([3]))  # write path unmodified: installs
+        cache.llc_read(np.array([3 + SETS]))  # bypassed read miss
+        assert cache.contains(np.array([3]))[0]
+        assert cache.is_dirty(np.array([3]))[0]
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            BypassCache(CAP, insert_probability=-0.1)
+
+
+class TestNextLinePrefetch:
+    def test_sequential_stream_prefetches_ahead(self):
+        cache = NextLinePrefetchCache(CAP)
+        cache.llc_read(np.array([10]))
+        # Line 11 was prefetched by the miss on line 10.
+        assert cache.contains(np.array([11]))[0]
+        traffic, tags = cache.llc_read(np.array([11]))
+        assert tags.hits == 1
+
+    def test_prefetch_costs_nvram_bandwidth(self):
+        prefetching = NextLinePrefetchCache(CAP)
+        baseline = DirectMappedCache(CAP)
+        lines = np.arange(0, 100, 2)  # stride-2: prefetches never used
+        t_prefetch, _ = prefetching.llc_read(lines)
+        t_base, _ = baseline.llc_read(lines)
+        assert t_prefetch.nvram_reads > t_base.nvram_reads
+
+    def test_hits_do_not_prefetch(self):
+        cache = NextLinePrefetchCache(CAP)
+        cache.llc_read(np.array([10]))  # installs 10 and 11
+        before = cache.contains(np.array([12]))[0]
+        cache.llc_read(np.array([10]))  # pure hit
+        after = cache.contains(np.array([12]))[0]
+        assert not before and not after
+
+    def test_improves_hit_rate_on_sequential_scan(self):
+        """A second sequential pass benefits from the deeper coverage...
+        for the baseline both caches converge; the win shows on cold
+        sequential streams read at stride 1 in *separate* batches."""
+        prefetching = NextLinePrefetchCache(CAP)
+        baseline = DirectMappedCache(CAP)
+        hits = base_hits = 0
+        for i in range(0, 64, 2):
+            batch = np.array([i, i + 1])
+            _, tags = prefetching.llc_read(batch)
+            hits += tags.hits
+            _, base_tags = baseline.llc_read(batch)
+            base_hits += base_tags.hits
+        assert base_hits == 0
+        assert hits >= 30  # later lines were prefetched by earlier misses
+
+    def test_demand_traffic_unchanged(self):
+        cache = NextLinePrefetchCache(CAP)
+        traffic, _ = cache.llc_read(np.arange(50))
+        assert traffic.demand_reads == 50

@@ -1,0 +1,125 @@
+"""Tests for the sector (footprint) cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache import DirectMappedCache
+from repro.cache.sector import SectorCache
+from repro.errors import ConfigurationError
+
+# 16 sectors of 32 lines.
+CAP = 16 * 32 * 64
+
+
+@pytest.fixture
+def cache():
+    return SectorCache(CAP, sector_lines=32, footprint=4)
+
+
+class TestGeometry:
+    def test_sets(self, cache):
+        assert cache.num_sets == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SectorCache(CAP + 64)  # not sector-aligned
+        with pytest.raises(ConfigurationError):
+            SectorCache(CAP, sector_lines=0)
+        with pytest.raises(ConfigurationError):
+            SectorCache(CAP, sector_lines=8, footprint=16)
+
+
+class TestFootprintFetch:
+    def test_sector_miss_fetches_footprint(self, cache):
+        traffic, tags = cache.llc_read(np.array([0]))
+        assert tags.clean_misses == 1
+        assert traffic.nvram_reads == 4  # footprint lines
+        assert cache.contains(np.array([0, 1, 2, 3])).all()
+        assert not cache.contains(np.array([4]))[0]
+
+    def test_footprint_clipped_at_sector_end(self, cache):
+        traffic, _ = cache.llc_read(np.array([30]))  # 2 lines left in sector
+        assert traffic.nvram_reads == 2
+        assert cache.contains(np.array([30, 31])).all()
+
+    def test_sequential_scan_hits_after_fetch(self, cache):
+        total_hits = 0
+        for line in range(32):
+            _, tags = cache.llc_read(np.array([line]))
+            total_hits += tags.hits
+        # Every footprint fetch covers the next 3 lines: 24 of 32 hit.
+        assert total_hits == 24
+
+    def test_line_miss_within_cached_sector(self, cache):
+        cache.llc_read(np.array([0]))  # sector cached, lines 0-3 valid
+        traffic, tags = cache.llc_read(np.array([10]))
+        assert tags.clean_misses == 1
+        assert traffic.nvram_reads == 4  # footprint fill, no eviction
+        assert traffic.nvram_writes == 0
+
+    def test_footprint_skips_already_valid_lines(self, cache):
+        cache.llc_read(np.array([0]))  # lines 0-3 valid
+        cache.llc_write(np.array([6]))  # line 6 valid (sector hit)
+        traffic, _ = cache.llc_read(np.array([4]))  # window 4-7
+        assert traffic.nvram_reads == 3  # 4, 5, 7 only; 6 already valid
+
+
+class TestEviction:
+    def test_only_dirty_lines_written_back(self, cache):
+        cache.llc_write(np.array([0, 1]))  # sector 0, two dirty lines
+        alias = 16 * 32  # same set, different sector
+        traffic, tags = cache.llc_read(np.array([alias]))
+        assert tags.dirty_misses == 1
+        assert traffic.nvram_writes == 2  # exactly the dirty lines
+
+    def test_clean_sector_evicts_silently(self, cache):
+        cache.llc_read(np.array([0]))
+        traffic, tags = cache.llc_read(np.array([16 * 32]))
+        assert tags.clean_misses == 1
+        assert traffic.nvram_writes == 0
+
+
+class TestWrites:
+    def test_write_miss_needs_no_fetch(self, cache):
+        traffic, tags = cache.llc_write(np.array([5]))
+        assert tags.clean_misses == 1
+        assert traffic.nvram_reads == 0  # full-line overwrite, no fill
+        assert cache.contains(np.array([5]))[0]
+
+    def test_write_hit(self, cache):
+        cache.llc_write(np.array([5]))
+        traffic, tags = cache.llc_write(np.array([5]))
+        assert tags.hits == 1
+        assert traffic.amplification == 2.0  # tag check + write
+
+    def test_dirty_fraction(self, cache):
+        cache.llc_write(np.arange(16))
+        assert cache.dirty_fraction == pytest.approx(16 / (16 * 32))
+
+
+class TestVsDirectMapped:
+    def test_sequential_misses_cheaper_per_line(self):
+        """Footprint fetch turns 3 of 4 sequential misses into hits."""
+        sector = SectorCache(CAP, sector_lines=32, footprint=4)
+        baseline = DirectMappedCache(CAP)
+        lines = np.arange(256)
+        s_traffic, s_tags = sector.llc_read(lines)
+        b_traffic, b_tags = baseline.llc_read(lines)
+        assert s_tags.hits > b_tags.hits
+        # Same NVRAM fetch volume (every line fetched once)...
+        assert s_traffic.nvram_reads == b_traffic.nvram_reads
+
+    def test_random_shuffle_wastes_footprint_bandwidth(self):
+        sector = SectorCache(CAP, sector_lines=32, footprint=8)
+        baseline = DirectMappedCache(CAP)
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 16 * 32 * 4, size=2000)
+        s_traffic, _ = sector.llc_read(lines)
+        b_traffic, _ = baseline.llc_read(lines)
+        assert s_traffic.nvram_reads > b_traffic.nvram_reads
+
+    def test_intra_batch_sector_reuse(self):
+        cache = SectorCache(CAP, sector_lines=32, footprint=1)
+        traffic, tags = cache.llc_read(np.array([7, 7]))
+        assert tags.hits == 1
+        assert tags.clean_misses == 1

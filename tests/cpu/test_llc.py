@@ -1,0 +1,63 @@
+"""Tests for the LLC model and write-back queue."""
+
+import numpy as np
+import pytest
+
+from repro.config import CPUConfig
+from repro.cpu import LLCModel, WritebackQueue, retired_instructions
+
+
+class TestLLCModel:
+    def test_capacity_lines(self):
+        llc = LLCModel(CPUConfig(llc_capacity=64 * 1024))
+        assert llc.capacity_lines == 1024
+
+    def test_fits(self):
+        llc = LLCModel(CPUConfig(llc_capacity=1024))
+        assert llc.fits(1024)
+        assert not llc.fits(1025)
+
+
+class TestWritebackQueue:
+    def test_holds_until_capacity(self):
+        q = WritebackQueue(capacity_lines=100)
+        assert q.push(np.arange(50)) == []
+        assert q.push(np.arange(50)) == []
+        assert len(q) == 100
+
+    def test_evicts_fifo_on_pressure(self):
+        q = WritebackQueue(capacity_lines=100)
+        first = np.arange(60)
+        q.push(first)
+        evicted = q.push(np.arange(60, 120))
+        assert len(evicted) == 1
+        assert np.array_equal(evicted[0], first)
+
+    def test_drain_flushes_in_order(self):
+        q = WritebackQueue(capacity_lines=1000)
+        a, b = np.arange(10), np.arange(10, 20)
+        q.push(a)
+        q.push(b)
+        drained = list(q.drain())
+        assert np.array_equal(drained[0], a)
+        assert np.array_equal(drained[1], b)
+        assert len(q) == 0
+
+    def test_zero_capacity_evicts_immediately(self):
+        q = WritebackQueue(capacity_lines=0)
+        evicted = q.push(np.arange(5))
+        assert len(evicted) == 1
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            WritebackQueue(capacity_lines=-1)
+
+
+class TestRetiredInstructions:
+    def test_scales_with_bytes(self):
+        cpu = CPUConfig(instructions_per_byte=0.25)
+        assert retired_instructions(400, cpu) == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            retired_instructions(-1, CPUConfig())

@@ -1,0 +1,23 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCLI:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "table2" in out
+
+    def test_run_one_quick(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "completed in" in out
+
+    def test_unknown_name_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,72 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import CSRGraph
+
+
+@pytest.fixture
+def triangle():
+    # 0->1, 0->2, 1->2
+    return CSRGraph.from_edges(
+        np.array([0, 0, 1]), np.array([1, 2, 2]), num_nodes=3
+    )
+
+
+class TestConstruction:
+    def test_from_edges(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert triangle.out_degrees.tolist() == [2, 1, 0]
+
+    def test_neighbors(self, triangle):
+        assert sorted(triangle.neighbors(0).tolist()) == [1, 2]
+        assert triangle.neighbors(2).size == 0
+
+    def test_parallel_edges_kept(self):
+        g = CSRGraph.from_edges(np.array([0, 0]), np.array([1, 1]), num_nodes=2)
+        assert g.num_edges == 2
+
+    def test_unsorted_edge_list(self):
+        g = CSRGraph.from_edges(np.array([2, 0, 1]), np.array([0, 1, 2]), num_nodes=3)
+        assert g.out_degrees.tolist() == [1, 1, 1]
+        assert g.neighbors(2).tolist() == [0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph.from_edges(np.array([0]), np.array([5]), num_nodes=3)
+        with pytest.raises(ConfigurationError):
+            CSRGraph.from_edges(np.array([-1]), np.array([0]), num_nodes=3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph.from_edges(np.array([0, 1]), np.array([0]), num_nodes=3)
+
+    def test_rejects_inconsistent_indptr(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph(
+                indptr=np.array([0, 5], dtype=np.int64),
+                indices=np.array([0], dtype=np.int32),
+            )
+
+
+class TestProperties:
+    def test_binary_bytes(self, triangle):
+        assert triangle.binary_bytes == triangle.indptr.nbytes + triangle.indices.nbytes
+
+    def test_max_out_degree_node(self, triangle):
+        assert triangle.max_out_degree_node() == 0
+
+    def test_reversed(self, triangle):
+        rev = triangle.reversed()
+        assert rev.num_edges == triangle.num_edges
+        assert sorted(rev.neighbors(2).tolist()) == [0, 1]
+
+    def test_reversed_twice_is_identity_up_to_order(self, triangle):
+        twice = triangle.reversed().reversed()
+        for node in range(triangle.num_nodes):
+            assert sorted(twice.neighbors(node).tolist()) == sorted(
+                triangle.neighbors(node).tolist()
+            )

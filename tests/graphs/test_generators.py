@@ -1,0 +1,68 @@
+"""Tests for the Kronecker and web-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import kronecker, web_graph
+
+
+class TestKronecker:
+    def test_size(self):
+        g = kronecker(8, edge_factor=8, seed=1)
+        assert g.num_nodes == 256
+        assert g.num_edges == 256 * 8
+
+    def test_deterministic(self):
+        a = kronecker(8, seed=5)
+        b = kronecker(8, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = kronecker(8, seed=1)
+        b = kronecker(8, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_skewed_degree_distribution(self):
+        g = kronecker(12, edge_factor=16, seed=3)
+        degrees = g.out_degrees
+        # R-MAT graphs are heavy-tailed: the max degree dwarfs the mean.
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            kronecker(0)
+        with pytest.raises(ConfigurationError):
+            kronecker(64)
+
+    def test_rejects_bad_edge_factor(self):
+        with pytest.raises(ConfigurationError):
+            kronecker(8, edge_factor=0)
+
+
+class TestWebGraph:
+    def test_average_degree(self):
+        g = web_graph(4096, avg_degree=20, seed=1)
+        assert g.num_edges / g.num_nodes == pytest.approx(20, rel=0.25)
+
+    def test_heavy_tailed_in_degree(self):
+        g = web_graph(4096, avg_degree=20, seed=1)
+        in_degrees = np.bincount(g.indices, minlength=g.num_nodes)
+        assert in_degrees.max() > 20 * in_degrees.mean()
+
+    def test_every_node_has_out_edges(self):
+        g = web_graph(1024, avg_degree=10, seed=2)
+        assert g.out_degrees.min() >= 1
+
+    def test_deterministic(self):
+        a = web_graph(512, seed=9)
+        b = web_graph(512, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            web_graph(1)
+        with pytest.raises(ConfigurationError):
+            web_graph(100, avg_degree=0)
+        with pytest.raises(ConfigurationError):
+            web_graph(100, alpha=1.0)

@@ -1,0 +1,141 @@
+"""Tests for the graph layout, traffic runtime, and system setups."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_platform
+from repro.errors import ConfigurationError
+from repro.graphs import GraphLayout, GraphRuntime, kronecker, pagerank_push
+from repro.graphs.runtime import adjacency_positions
+from repro.graphs.sage import setup_2lm, setup_numa, setup_sage
+from repro.memsys.backends import CachedBackend, FlatBackend
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return default_platform(16384)
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(10, edge_factor=8, seed=3)
+
+
+class TestGraphLayout:
+    def test_arrays_tile_without_overlap(self, kron):
+        layout = GraphLayout(kron)
+        layout.add_property("dist", 8)
+        indptr = layout.extent("indptr")
+        indices = layout.extent("indices")
+        dist = layout.extent("dist")
+        assert indptr.start_line + indptr.num_lines == indices.start_line
+        assert indices.start_line + indices.num_lines == dist.start_line
+        assert layout.total_lines == dist.start_line + dist.num_lines
+
+    def test_element_lines(self, kron):
+        layout = GraphLayout(kron)
+        layout.add_property("dist", 8)
+        lines = layout.element_lines("dist", np.array([0, 7, 8]))
+        # 8-byte elements: 8 per 64 B line.
+        assert lines[0] == lines[1]
+        assert lines[2] == lines[0] + 1
+
+    def test_property_idempotent(self, kron):
+        layout = GraphLayout(kron)
+        layout.add_property("dist", 8)
+        before = layout.total_lines
+        layout.add_property("dist", 8)
+        assert layout.total_lines == before
+
+    def test_property_size_conflict(self, kron):
+        layout = GraphLayout(kron)
+        layout.add_property("dist", 8)
+        with pytest.raises(ConfigurationError):
+            layout.add_property("dist", 4)
+
+
+class TestAdjacencyPositions:
+    def test_matches_manual_concatenation(self, kron):
+        frontier = np.array([3, 10, 50])
+        expected = np.concatenate(
+            [
+                np.arange(kron.indptr[f], kron.indptr[f + 1])
+                for f in frontier
+            ]
+        )
+        assert np.array_equal(adjacency_positions(kron, frontier), expected)
+
+    def test_empty_frontier(self, kron):
+        assert adjacency_positions(kron, np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestGraphRuntime:
+    def test_dedupes_repeated_lines(self, kron, platform):
+        _, layout = setup_numa(platform, kron)
+        backend, layout = setup_numa(platform, kron)
+        runtime = GraphRuntime(backend, layout, threads=4, sockets=1)
+        with runtime.round():
+            runtime.gather("pr_rank", np.zeros(100, dtype=np.int64))
+        # 100 touches of element 0 = one line at the IMC.
+        assert backend.counters.traffic.demand_reads == 1
+
+    def test_edge_stride_weights_traffic(self, kron, platform):
+        backend, layout = setup_numa(platform, kron)
+        exact = GraphRuntime(backend, layout, edge_stride=1)
+        with exact.round():
+            exact.sequential_read("indices")
+        exact_reads = backend.counters.traffic.demand_reads
+
+        backend2, layout2 = setup_numa(platform, kron)
+        sampled = GraphRuntime(backend2, layout2, edge_stride=4)
+        with sampled.round():
+            sampled.sequential_read("indices")
+        sampled_reads = backend2.counters.traffic.demand_reads
+        assert sampled_reads == pytest.approx(exact_reads, rel=0.01)
+
+    def test_scatter_reads_then_writes(self, kron, platform):
+        backend, layout = setup_numa(platform, kron)
+        runtime = GraphRuntime(backend, layout)
+        with runtime.round():
+            runtime.scatter("pr_rank", np.arange(64, dtype=np.int64))
+        t = backend.counters.traffic
+        assert t.demand_reads == t.demand_writes > 0
+
+    def test_rejects_bad_stride(self, kron, platform):
+        backend, layout = setup_numa(platform, kron)
+        with pytest.raises(ConfigurationError):
+            GraphRuntime(backend, layout, edge_stride=0)
+
+
+class TestSetups:
+    def test_2lm_uses_cache(self, kron, platform):
+        backend, _ = setup_2lm(platform, kron)
+        assert isinstance(backend, CachedBackend)
+        assert backend.cache.capacity == 2 * platform.socket.dram_capacity
+
+    def test_numa_prefers_dram(self, kron, platform):
+        backend, layout = setup_numa(platform, kron)
+        assert isinstance(backend, FlatBackend)
+        # First allocations (graph arrays) land in DRAM when they fit.
+        assert backend.address_map.device_of(0) == "dram"
+
+    def test_sage_graph_in_nvram_properties_in_dram(self, kron, platform):
+        backend, layout = setup_sage(platform, kron)
+        indices = layout.extent("indices")
+        assert backend.address_map.device_of(indices.start_line) == "nvram"
+        rank = layout.extent("pr_rank")
+        assert backend.address_map.device_of(rank.start_line) == "dram"
+
+    def test_sage_generates_no_nvram_writes(self, kron, platform):
+        """Sage's design goal: mutation never touches NVRAM."""
+        backend, layout = setup_sage(platform, kron)
+        runtime = GraphRuntime(backend, layout, edge_stride=4)
+        pagerank_push(kron, rounds=3, tolerance=0.0, runtime=runtime)
+        assert backend.counters.traffic.nvram_writes == 0
+        assert backend.counters.traffic.nvram_reads > 0
+
+    def test_2lm_generates_nvram_writes_for_same_workload(self, kron, platform):
+        backend, layout = setup_2lm(platform, kron)
+        runtime = GraphRuntime(backend, layout, edge_stride=4)
+        pagerank_push(kron, rounds=3, tolerance=0.0, runtime=runtime)
+        assert backend.counters.traffic.nvram_reads > 0

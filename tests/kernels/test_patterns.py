@@ -1,0 +1,55 @@
+"""Tests for access-pattern generation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.patterns import access_blocks
+from repro.memsys.counters import Pattern
+
+
+class TestSequential:
+    def test_walks_in_order(self):
+        order = access_blocks(100, Pattern.SEQUENTIAL)
+        assert np.array_equal(order, np.arange(100))
+
+    def test_granularity_indifferent(self):
+        # Section III-B: sequential iteration ignores granularity.
+        a = access_blocks(128, Pattern.SEQUENTIAL, granularity=64)
+        b = access_blocks(128, Pattern.SEQUENTIAL, granularity=512)
+        assert np.array_equal(a, b)
+
+
+class TestRandom:
+    def test_touches_every_line_once(self):
+        order = access_blocks(1000, Pattern.RANDOM)
+        assert np.array_equal(np.sort(order), np.arange(1000))
+
+    def test_block_granularity_keeps_blocks_contiguous(self):
+        order = access_blocks(64, Pattern.RANDOM, granularity=256)
+        # Blocks of 4 lines: within each block addresses are consecutive.
+        blocks = order.reshape(-1, 4)
+        assert (np.diff(blocks, axis=1) == 1).all()
+        # All lines covered exactly once.
+        assert np.array_equal(np.sort(order), np.arange(64))
+
+    def test_blocks_are_shuffled(self):
+        order = access_blocks(4096, Pattern.RANDOM, granularity=256)
+        starts = order.reshape(-1, 4)[:, 0]
+        assert not np.array_equal(starts, np.sort(starts))
+
+    def test_rejects_indivisible_buffer(self):
+        with pytest.raises(ValueError):
+            access_blocks(63, Pattern.RANDOM, granularity=256)
+
+
+class TestValidation:
+    def test_rejects_negative_lines(self):
+        with pytest.raises(ValueError):
+            access_blocks(-1, Pattern.SEQUENTIAL)
+
+    def test_rejects_non_multiple_granularity(self):
+        with pytest.raises(ValueError):
+            access_blocks(10, Pattern.RANDOM, granularity=96)
+
+    def test_zero_lines(self):
+        assert access_blocks(0, Pattern.RANDOM).size == 0

@@ -1,0 +1,62 @@
+"""Tests for the flat-mode address map."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.topology import AddressMap, Region
+
+
+class TestRegion:
+    def test_extent(self):
+        r = Region("dram", 0, 100, "dram")
+        assert r.end_line == 100
+        assert r.contains(0)
+        assert r.contains(99)
+        assert not r.contains(100)
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ConfigurationError):
+            Region("x", -1, 10, "dram")
+        with pytest.raises(ConfigurationError):
+            Region("x", 0, 0, "dram")
+
+    def test_rejects_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            Region("x", 0, 10, "flash")
+
+
+class TestAddressMap:
+    def test_numa_preferred_layout(self):
+        amap = AddressMap.numa_preferred(dram_lines=10, nvram_lines=20)
+        assert amap.total_lines == 30
+        assert amap.device_of(0) == "dram"
+        assert amap.device_of(9) == "dram"
+        assert amap.device_of(10) == "nvram"
+        assert amap.device_of(29) == "nvram"
+
+    def test_nvram_only(self):
+        amap = AddressMap.nvram_only(50)
+        assert not amap.classify(np.arange(50)).any()
+
+    def test_classify_vectorized(self):
+        amap = AddressMap.numa_preferred(4, 4)
+        mask = amap.classify(np.array([0, 3, 4, 7]))
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_classify_rejects_out_of_range(self):
+        amap = AddressMap.nvram_only(10)
+        with pytest.raises(ConfigurationError):
+            amap.classify(np.array([10]))
+
+    def test_rejects_gaps(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([Region("a", 0, 5, "dram"), Region("b", 6, 5, "nvram")])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([Region("a", 0, 5, "dram"), Region("b", 4, 5, "nvram")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([])

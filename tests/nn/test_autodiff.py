@@ -1,0 +1,122 @@
+"""Tests for backward-pass construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.autodiff import build_training_graph
+from repro.nn.ir import OpKind
+from repro.nn.ops import GraphBuilder
+
+
+def tiny_network():
+    b = GraphBuilder("tiny", batch=2, weight_scale=1)
+    x = b.input(3, 8, 8)
+    y = b.conv_bn_relu(x, 4, kernel=3)
+    y = b.matmul(y, 10)
+    b.softmax_loss(y)
+    return b.graph
+
+
+class TestStructure:
+    def test_backward_follows_forward(self):
+        graph = tiny_network()
+        forward_count = len(graph.ops)
+        training = build_training_graph(graph)
+        assert training.backward_start == forward_count
+        assert len(training.backward_ops) > 0
+        assert all(not op.kind.is_backward for op in training.forward_ops)
+
+    def test_loss_auto_discovery(self):
+        graph = tiny_network()
+        training = build_training_graph(graph)  # no explicit loss
+        assert training.graph is graph
+
+    def test_rejects_graph_without_loss(self):
+        b = GraphBuilder("noloss", batch=1, weight_scale=1)
+        x = b.input(3, 8, 8)
+        b.relu(x)
+        with pytest.raises(ConfigurationError):
+            build_training_graph(b.graph)
+
+    def test_conv_backprop_split_into_data_and_filter(self):
+        graph = tiny_network()
+        training = build_training_graph(graph)
+        kinds = [op.kind for op in training.backward_ops]
+        assert OpKind.CONV_BACKPROP_DATA in kinds
+        assert OpKind.CONV_BACKPROP_FILTER in kinds
+
+    def test_every_weight_gets_sgd_update(self):
+        graph = tiny_network()
+        training = build_training_graph(graph)
+        updates = [op for op in training.backward_ops if op.kind is OpKind.SGD_UPDATE]
+        # conv filter, bn scale, fc weight.
+        assert len(updates) == 3
+
+    def test_sgd_update_is_in_place(self):
+        graph = tiny_network()
+        training = build_training_graph(graph)
+        for op in training.backward_ops:
+            if op.kind is OpKind.SGD_UPDATE:
+                assert op.outputs == []
+
+
+class TestLivenessStructure:
+    def test_forward_activations_read_by_backward(self):
+        """The paper's key structural property: forward intermediates
+        are consumed by backward ops, extending their live ranges."""
+        graph = tiny_network()
+        training = build_training_graph(graph)
+        forward_tensors = set()
+        for op in training.forward_ops:
+            forward_tensors.update(t for t in op.outputs if not t.weight)
+        read_by_backward = set()
+        for op in training.backward_ops:
+            read_by_backward.update(op.inputs)
+        assert forward_tensors & read_by_backward
+
+    def test_relu_backward_reads_saved_output(self):
+        graph = tiny_network()
+        training = build_training_graph(graph)
+        relu_fwd = [op for op in training.forward_ops if op.kind is OpKind.RELU][0]
+        relu_bwd = [
+            op for op in training.backward_ops if op.kind is OpKind.RELU_BACKPROP
+        ][0]
+        assert relu_fwd.outputs[0] in relu_bwd.inputs
+
+
+class TestGradientAccumulation:
+    def test_multi_consumer_grads_are_summed(self):
+        b = GraphBuilder("fanout", batch=1, weight_scale=1)
+        x = b.input(3, 8, 8)
+        shared = b.conv(x, 4, kernel=1)
+        left = b.conv(shared, 4, kernel=1)
+        right = b.conv(shared, 4, kernel=1)
+        y = b.matmul(b.add(left, right), 4)
+        b.softmax_loss(y)
+        training = build_training_graph(b.graph)
+        sums = [op for op in training.backward_ops if op.name.startswith("GradSum")]
+        assert sums, "shared tensor with two consumers needs gradient accumulation"
+
+    def test_concat_backprop_splits_gradients(self):
+        b = GraphBuilder("cc", batch=1, weight_scale=1)
+        x = b.input(3, 8, 8)
+        a1 = b.conv(x, 2, kernel=1)
+        a2 = b.conv(x, 2, kernel=1)
+        y = b.matmul(b.concat([a1, a2]), 4)
+        b.softmax_loss(y)
+        training = build_training_graph(b.graph)
+        cc_bwd = [
+            op for op in training.backward_ops if op.kind is OpKind.CONCAT_BACKPROP
+        ][0]
+        assert len(cc_bwd.outputs) == 2
+
+
+class TestGradShapes:
+    def test_gradients_match_tensor_shapes(self):
+        graph = tiny_network()
+        training = build_training_graph(graph)
+        for op in training.backward_ops:
+            if op.kind is OpKind.CONV_BACKPROP_DATA:
+                d_out, w = op.inputs
+                (d_x,) = op.outputs
+                assert d_x.shape[0] == d_out.shape[0]  # batch preserved

@@ -1,0 +1,84 @@
+"""Tests for the computation-graph IR."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.ir import Graph, OpKind, Tensor
+
+
+class TestTensor:
+    def test_sizes(self):
+        t = Tensor("x", (2, 3, 4))
+        assert t.elements == 24
+        assert t.size_bytes == 96
+
+    def test_rejects_empty_shape_dim(self):
+        with pytest.raises(ConfigurationError):
+            Tensor("x", (2, 0))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ConfigurationError):
+            Tensor("x", (1,), dtype_bytes=0)
+
+
+class TestGraph:
+    def test_add_op_links_producer(self):
+        g = Graph("g")
+        out = g.tensor("out", (4,))
+        op = g.add_op("p", OpKind.PARAMETER, [], [out])
+        assert out.producer is op
+
+    def test_rejects_duplicate_tensor_names(self):
+        g = Graph("g")
+        g.tensor("x", (1,))
+        with pytest.raises(ConfigurationError):
+            g.tensor("x", (2,))
+
+    def test_rejects_use_before_def(self):
+        g = Graph("g")
+        dangling = g.tensor("dangling", (4,))
+        with pytest.raises(ConfigurationError):
+            g.add_op("bad", OpKind.RELU, [dangling], [])
+
+    def test_weights_usable_without_producer(self):
+        g = Graph("g")
+        w = g.tensor("w", (4,), weight=True)
+        out = g.tensor("y", (4,))
+        g.add_op("op", OpKind.MATMUL, [w], [out])  # no error
+
+    def test_rejects_double_production(self):
+        g = Graph("g")
+        out = g.tensor("y", (4,))
+        g.add_op("a", OpKind.PARAMETER, [], [out])
+        with pytest.raises(ConfigurationError):
+            g.add_op("b", OpKind.PARAMETER, [], [out])
+
+    def test_stats(self):
+        g = Graph("g")
+        x = g.tensor("x", (8,))
+        w = g.tensor("w", (8,), weight=True)
+        y = g.tensor("y", (8,))
+        g.add_op("p", OpKind.PARAMETER, [], [x])
+        g.add_op("m", OpKind.MATMUL, [x, w], [y], flops=128)
+        stats = g.stats()
+        assert stats["ops"] == 2
+        assert stats["weight_bytes"] == 32
+        assert stats["activation_bytes"] == 64
+        assert stats["flops"] == 128
+
+    def test_op_byte_totals(self):
+        g = Graph("g")
+        x = g.tensor("x", (8,))
+        y = g.tensor("y", (4,))
+        g.add_op("p", OpKind.PARAMETER, [], [x])
+        op = g.add_op("r", OpKind.RELU, [x], [y])
+        assert op.input_bytes == 32
+        assert op.output_bytes == 16
+        assert op.total_bytes == 48
+
+
+class TestOpKind:
+    def test_backward_detection(self):
+        assert OpKind.CONV_BACKPROP_DATA.is_backward
+        assert OpKind.SGD_UPDATE.is_backward
+        assert not OpKind.CONV.is_backward

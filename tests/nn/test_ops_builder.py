@@ -1,0 +1,122 @@
+"""Tests for the layer-level graph builder (shape inference, flops)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.ir import OpKind
+from repro.nn.ops import GraphBuilder
+
+
+@pytest.fixture
+def b():
+    return GraphBuilder("test", batch=2, weight_scale=1)
+
+
+class TestConv:
+    def test_same_padding_preserves_size(self, b):
+        x = b.input(3, 32, 32)
+        y = b.conv(x, 16, kernel=3)
+        assert y.shape == (2, 16, 32, 32)
+
+    def test_stride_halves(self, b):
+        x = b.input(3, 32, 32)
+        y = b.conv(x, 16, kernel=3, stride=2)
+        assert y.shape == (2, 16, 16, 16)
+
+    def test_rectangular_kernel(self, b):
+        x = b.input(3, 32, 32)
+        y = b.conv(x, 16, kernel=(1, 7))
+        assert y.shape == (2, 16, 32, 32)
+
+    def test_flops_formula(self, b):
+        x = b.input(3, 8, 8)
+        b.conv(x, 4, kernel=3)
+        conv = [op for op in b.graph.ops if op.kind is OpKind.CONV][0]
+        assert conv.flops == 2 * 2 * 4 * 8 * 8 * 3 * 9
+
+    def test_collapse_raises(self, b):
+        x = b.input(3, 4, 4)
+        with pytest.raises(ConfigurationError):
+            b.conv(x, 8, kernel=7, padding=0)
+
+
+class TestOtherLayers:
+    def test_concat_sums_channels(self, b):
+        x = b.input(3, 8, 8)
+        a = b.conv(x, 4, kernel=1)
+        c = b.conv(x, 6, kernel=1)
+        y = b.concat([a, c])
+        assert y.shape == (2, 10, 8, 8)
+
+    def test_concat_has_zero_flops(self, b):
+        x = b.input(3, 8, 8)
+        y = b.concat([x, x])
+        assert y.producer.flops == 0
+
+    def test_concat_rejects_mismatched(self, b):
+        x = b.input(3, 8, 8)
+        small = b.pool(x, kernel=2, stride=2)
+        with pytest.raises(ConfigurationError):
+            b.concat([x, small])
+
+    def test_concat_rejects_empty(self, b):
+        with pytest.raises(ConfigurationError):
+            b.concat([])
+
+    def test_add_requires_same_shape(self, b):
+        x = b.input(3, 8, 8)
+        y = b.conv(x, 3, kernel=1)
+        b.add(x, y)  # same shape OK
+        z = b.conv(x, 5, kernel=1)
+        with pytest.raises(ConfigurationError):
+            b.add(x, z)
+
+    def test_batch_norm_preserves_shape(self, b):
+        x = b.input(3, 8, 8)
+        assert b.batch_norm(x).shape == x.shape
+
+    def test_global_pool(self, b):
+        x = b.input(3, 8, 8)
+        assert b.global_pool(x).shape == (2, 3, 1, 1)
+
+    def test_matmul_flattens(self, b):
+        x = b.input(3, 4, 4)
+        y = b.matmul(x, 10)
+        assert y.shape == (2, 10)
+
+    def test_softmax_loss_shape(self, b):
+        x = b.input(3, 4, 4)
+        y = b.matmul(x, 10)
+        loss = b.softmax_loss(y)
+        assert loss.shape == (2,)
+
+
+class TestWeightScaling:
+    def test_weight_scale_shrinks_extent_not_flops(self):
+        full = GraphBuilder("full", batch=2, weight_scale=1)
+        x = full.input(3, 8, 8)
+        full.conv(x, 64, kernel=3)
+        scaled = GraphBuilder("scaled", batch=2, weight_scale=16)
+        x = scaled.input(3, 8, 8)
+        scaled.conv(x, 64, kernel=3)
+        full_conv = [op for op in full.graph.ops if op.kind is OpKind.CONV][0]
+        scaled_conv = [op for op in scaled.graph.ops if op.kind is OpKind.CONV][0]
+        assert full_conv.flops == scaled_conv.flops
+        full_w = [t for t in full_conv.inputs if t.weight][0]
+        scaled_w = [t for t in scaled_conv.inputs if t.weight][0]
+        assert scaled_w.size_bytes == full_w.size_bytes // 16
+
+    def test_weight_never_below_one_element(self):
+        b = GraphBuilder("t", batch=1, weight_scale=1_000_000)
+        x = b.input(3, 8, 8)
+        b.conv(x, 4, kernel=3)
+        weights = b.graph.weights
+        assert all(t.elements >= 1 for t in weights)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            GraphBuilder("t", batch=0)
+
+    def test_rejects_bad_weight_scale(self):
+        with pytest.raises(ConfigurationError):
+            GraphBuilder("t", batch=1, weight_scale=0)

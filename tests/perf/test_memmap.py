@@ -1,0 +1,58 @@
+"""Tests for the Figure-5d memory-map renderer."""
+
+import pytest
+
+from repro.nn import build_training_graph, plan_memory
+from repro.nn.ops import GraphBuilder
+from repro.perf.memmap import render_memory_map
+
+
+@pytest.fixture(scope="module")
+def plan():
+    b = GraphBuilder("net", batch=1, weight_scale=1)
+    x = b.input(3, 32, 32)
+    for _ in range(4):
+        x = b.conv_bn_relu(x, 8, kernel=3)
+    y = b.matmul(x, 10)
+    b.softmax_loss(y)
+    build_training_graph(b.graph)
+    return plan_memory(b.graph, alignment=1024)
+
+
+class TestRenderMemoryMap:
+    def test_grid_dimensions(self, plan):
+        text = render_memory_map(plan, rows=8, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 2  # bands + axis + legend
+        grid = [line for line in lines if "|" in line and "MiB" in line]
+        assert len(grid) == 8
+        assert all(len(line.split("|")[1]) == 40 for line in grid)
+
+    def test_boundary_marker(self, plan):
+        num_forward = sum(1 for op in plan.graph.ops if not op.kind.is_backward)
+        text = render_memory_map(plan, boundary_op=num_forward, width=40)
+        assert "|" in text.splitlines()[-2]
+        assert "backward pass starts" in text
+
+    def test_liveness_rises_then_falls(self, plan):
+        """The top band is occupied only around the forward/backward
+        boundary — the Figure 5d triangle."""
+        text = render_memory_map(plan, rows=6, width=30)
+        top_band = text.splitlines()[0].split("|")[1]
+        assert top_band.strip(), "peak band should hold live data somewhere"
+        assert top_band[0] == " " and top_band[-1] == " ", (
+            "peak band should be free at the start and end of the iteration"
+        )
+
+    def test_bottom_band_mostly_occupied(self, plan):
+        text = render_memory_map(plan, rows=6, width=30)
+        bottom = text.splitlines()[5].split("|")[1]
+        occupied = sum(1 for c in bottom if c != " ")
+        assert occupied > 20
+
+    def test_empty_plan(self):
+        b = GraphBuilder("empty", batch=1)
+        x = b.input(1, 4, 4)
+        plan = plan_memory(b.graph)
+        out = render_memory_map(plan)
+        assert isinstance(out, str)

@@ -1,0 +1,79 @@
+"""Tests for embedding tables, traces, and popularity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.recsys import EmbeddingModel, EmbeddingTable, generate_trace
+from repro.recsys.embedding import popularity_permutation
+
+
+class TestEmbeddingTable:
+    def test_sizes(self):
+        table = EmbeddingTable("t", rows=1000, dim=64, dtype_bytes=4)
+        assert table.row_bytes == 256
+        assert table.size_bytes == 256_000
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingTable("t", rows=0, dim=64)
+        with pytest.raises(ConfigurationError):
+            EmbeddingTable("t", rows=10, dim=64, alpha=0.0)
+
+
+class TestModel:
+    def test_dlrm_like_shape(self):
+        model = EmbeddingModel.dlrm_like(num_tables=26, rows_per_table=1000)
+        assert len(model.tables) == 26
+        assert model.size_bytes == 26 * 1000 * 256
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return EmbeddingModel.dlrm_like(num_tables=4, rows_per_table=10_000)
+
+    def test_shape(self, model):
+        trace = generate_trace(model, batch_size=16, num_batches=3)
+        assert trace.num_batches == 3
+        assert len(trace.lookups[0]) == 4
+        assert trace.lookups[0][0].size == 16 * model.tables[0].pooling
+
+    def test_indices_in_range(self, model):
+        trace = generate_trace(model, batch_size=16, num_batches=3)
+        for batch in trace.lookups:
+            for t_index, rows in enumerate(batch):
+                assert rows.min() >= 0
+                assert rows.max() < model.tables[t_index].rows
+
+    def test_deterministic(self, model):
+        a = generate_trace(model, batch_size=8, num_batches=2, seed=7)
+        b = generate_trace(model, batch_size=8, num_batches=2, seed=7)
+        for x, y in zip(a.lookups, b.lookups):
+            for u, v in zip(x, y):
+                assert np.array_equal(u, v)
+
+    def test_popularity_shared_across_seeds(self, model):
+        """The hot set learned from one trace transfers to another."""
+        profile = generate_trace(model, batch_size=64, num_batches=5, seed=1)
+        evaluate = generate_trace(model, batch_size=64, num_batches=5, seed=99)
+        top_profile = set(np.argsort(-profile.row_frequencies(0))[:100].tolist())
+        top_eval = set(np.argsort(-evaluate.row_frequencies(0))[:100].tolist())
+        assert len(top_profile & top_eval) > 50
+
+    def test_zipf_skew(self, model):
+        trace = generate_trace(model, batch_size=256, num_batches=10)
+        frequencies = np.sort(trace.row_frequencies(0))[::-1]
+        top_1pct = frequencies[: model.tables[0].rows // 100].sum()
+        assert top_1pct > 0.3 * frequencies.sum()
+
+    def test_permutation_fixed_per_table(self, model):
+        a = popularity_permutation(model.tables[0], 0)
+        b = popularity_permutation(model.tables[0], 0)
+        c = popularity_permutation(model.tables[1], 1)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_rejects_bad_params(self, model):
+        with pytest.raises(ConfigurationError):
+            generate_trace(model, batch_size=0, num_batches=1)

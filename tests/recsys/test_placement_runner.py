@@ -1,0 +1,152 @@
+"""Tests for hot-row placement and the recsys runner."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_platform
+from repro.errors import ConfigurationError
+from repro.recsys import (
+    EmbeddingModel,
+    generate_trace,
+    plan_hot_rows,
+    run_recsys,
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return default_platform(8192)
+
+
+@pytest.fixture(scope="module")
+def model(platform):
+    rows = int(4 * platform.socket.dram_capacity / (8 * 256))
+    return EmbeddingModel.dlrm_like(num_tables=8, rows_per_table=rows)
+
+
+@pytest.fixture(scope="module")
+def traces(model):
+    profile = generate_trace(model, batch_size=64, num_batches=4, seed=1)
+    evaluate = generate_trace(model, batch_size=64, num_batches=6, seed=2)
+    return profile, evaluate
+
+
+class TestPlacement:
+    def test_budget_respected(self, model, traces):
+        profile, _ = traces
+        placement = plan_hot_rows(model, profile, budget_bytes=100_000)
+        assert placement.hot_bytes <= 100_000
+
+    def test_zero_budget_places_nothing(self, model, traces):
+        profile, _ = traces
+        placement = plan_hot_rows(model, profile, budget_bytes=0)
+        assert placement.hot_rows == 0
+
+    def test_hot_set_captures_zipf_mass(self, model, traces, platform):
+        profile, evaluate = traces
+        budget = int(platform.socket.dram_capacity * 0.9)
+        placement = plan_hot_rows(model, profile, budget)
+        # A small fraction of rows captures most of the skewed accesses.
+        fraction_of_rows = placement.hot_rows / sum(t.rows for t in model.tables)
+        hit = placement.expected_hit_fraction(evaluate)
+        assert hit > 2 * fraction_of_rows
+        assert hit > 0.5
+
+    def test_greedy_prefers_popular_rows(self, model, traces):
+        profile, _ = traces
+        placement = plan_hot_rows(model, profile, budget_bytes=256 * 50)
+        frequencies = profile.row_frequencies(0)
+        hot = np.flatnonzero(placement.hot_masks[0])
+        if hot.size:
+            cold_max = frequencies[~placement.hot_masks[0]].max()
+            assert frequencies[hot].min() >= cold_max - 1  # ties allowed
+
+    def test_rejects_negative_budget(self, model, traces):
+        profile, _ = traces
+        with pytest.raises(ConfigurationError):
+            plan_hot_rows(model, profile, budget_bytes=-1)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def placement(self, model, traces, platform):
+        profile, _ = traces
+        return plan_hot_rows(model, profile, int(platform.socket.dram_capacity * 0.9))
+
+    def test_bandana_beats_2lm_on_inference(self, model, traces, platform, placement):
+        _, evaluate = traces
+        cached = run_recsys(model, evaluate, platform, mode="2lm", training=False)
+        bandana = run_recsys(
+            model, evaluate, platform, mode="bandana",
+            placement=placement, training=False,
+        )
+        assert bandana.samples_per_second > cached.samples_per_second
+
+    def test_cold_2lm_can_lose_to_bare_nvram(self, model, traces, platform):
+        """The paper's thesis in miniature: with a modest hit rate, the
+        cache's 2-3x access amplification outweighs its hits and 2LM is
+        slower than no cache at all."""
+        _, evaluate = traces
+        bare = run_recsys(model, evaluate, platform, mode="nvram", training=False)
+        cached = run_recsys(model, evaluate, platform, mode="2lm", training=False)
+        assert cached.traffic.amplification > 2.0
+        assert cached.samples_per_second < bare.samples_per_second
+
+    def test_bandana_beats_bare_nvram(self, model, traces, platform, placement):
+        _, evaluate = traces
+        bare = run_recsys(model, evaluate, platform, mode="nvram", training=False)
+        bandana = run_recsys(
+            model, evaluate, platform, mode="bandana",
+            placement=placement, training=False,
+        )
+        assert bandana.samples_per_second > bare.samples_per_second
+
+    def test_inference_generates_no_nvram_writes_in_1lm(
+        self, model, traces, platform, placement
+    ):
+        _, evaluate = traces
+        for mode, kwargs in (("bandana", {"placement": placement}), ("nvram", {})):
+            result = run_recsys(
+                model, evaluate, platform, mode=mode, training=False, **kwargs
+            )
+            assert result.traffic.nvram_writes == 0
+
+    def test_2lm_inference_can_still_write_nvram(self, model, traces, platform):
+        """The cache's dirty evictions occur even for a read-only app
+        once training has dirtied lines; pure inference from cold is
+        write-free only until aliasing evicts fills."""
+        _, evaluate = traces
+        result = run_recsys(model, evaluate, platform, mode="2lm", training=True)
+        assert result.traffic.nvram_writes > 0
+
+    def test_hit_fraction_reporting(self, model, traces, platform, placement):
+        _, evaluate = traces
+        bandana = run_recsys(
+            model, evaluate, platform, mode="bandana",
+            placement=placement, training=False,
+        )
+        assert 0.4 < bandana.dram_hit_fraction <= 1.0
+        bare = run_recsys(model, evaluate, platform, mode="nvram", training=False)
+        assert bare.dram_hit_fraction == 0.0
+
+    def test_bandana_requires_placement(self, model, traces, platform):
+        _, evaluate = traces
+        with pytest.raises(ConfigurationError):
+            run_recsys(model, evaluate, platform, mode="bandana")
+
+    def test_unknown_mode(self, model, traces, platform):
+        _, evaluate = traces
+        with pytest.raises(ConfigurationError):
+            run_recsys(model, evaluate, platform, mode="hybrid")
+
+    def test_training_slower_than_inference(self, model, traces, platform, placement):
+        _, evaluate = traces
+        inference = run_recsys(
+            model, evaluate, platform, mode="bandana",
+            placement=placement, training=False,
+        )
+        training = run_recsys(
+            model, evaluate, platform, mode="bandana",
+            placement=placement, training=True,
+        )
+        assert training.seconds > inference.seconds
