@@ -19,6 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro import obs
 from repro.autotm.model import PlacementMode, PlacementPlan
 from repro.config import PlatformConfig
 from repro.errors import ConfigurationError
@@ -184,6 +185,20 @@ def execute_autotm(
             backend.access(lines[begin : begin + _BATCH_LINES], kind, context, weight=weight)
 
     def move(src: np.ndarray, dst: np.ndarray, op: Op, label: str) -> None:
+        tele = obs.get()
+        span = (
+            tele.span(
+                "autotm.move",
+                cat="autotm",
+                clock=lambda: backend.counters.time,
+                label=label,
+                anchor_op=op.name,
+            )
+            if tele.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         start = backend.counters.time
         with backend.epoch(move_ctx) as epoch:
             stream(src, AccessKind.LLC_READ, move_ctx)
@@ -192,6 +207,12 @@ def execute_autotm(
         backend.counters.retire(
             int(epoch.traffic.demand_bytes * cpu.instructions_per_byte)
         )
+        if span is not None:
+            span.set(moved_bytes=epoch.traffic.demand_bytes)
+            span.__exit__(None, None, None)
+            tele.counter(
+                "repro_autotm_moved_bytes_total", "bytes moved by AutoTM stash/restore"
+            ).inc(epoch.traffic.demand_bytes)
         result.records.append(
             KernelRecord(
                 op=Op(name=label, kind=OpKind.MOVE),
@@ -215,6 +236,22 @@ def execute_autotm(
                 f"restore_{tensor.name}",
             )
 
+        tele = obs.get()
+        kernel_span = (
+            tele.span(
+                "autotm.kernel",
+                cat="autotm",
+                clock=lambda: backend.counters.time,
+                op=op.name,
+                kind=op.kind.value,
+                stashes=len(stash_at.get(index, ())),
+                restores=len(restore_at.get(index, ())),
+            )
+            if tele.enabled
+            else None
+        )
+        if kernel_span is not None:
+            kernel_span.__enter__()
         start = backend.counters.time
         with backend.epoch(ctx) as epoch:
             if op.kind is not OpKind.PARAMETER:
@@ -227,6 +264,8 @@ def execute_autotm(
                     stream(lines, AccessKind.LLC_READ, ctx)  # RFO
                     stream(lines, AccessKind.LLC_WRITE, ctx)
             epoch.add_compute(compute_time(op, cpu.peak_flops))
+        if kernel_span is not None:
+            kernel_span.__exit__(None, None, None)
         backend.counters.retire(
             int(op.flops * cpu.instructions_per_flop)
             + int(epoch.traffic.demand_bytes * cpu.instructions_per_byte)

@@ -16,9 +16,34 @@ from typing import Protocol, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.memsys.counters import AccessKind, TagStats, Traffic, as_lines
 
-__all__ = ["AccessKind", "CacheModel", "as_lines"]
+__all__ = ["AccessKind", "CacheModel", "as_lines", "record_cache_metrics"]
+
+
+def record_cache_metrics(cache_kind: str, traffic: Traffic, tags: TagStats) -> None:
+    """Charge one batch's tag outcomes and evictions to the telemetry layer.
+
+    Shared by the cache models so every design reports the same metric
+    family: per-outcome tag counters plus a histogram of dirty lines
+    written back to NVRAM per batch (the eviction burst distribution).
+    No-op (one attribute lookup) when telemetry is disabled.
+    """
+    tele = obs.get()
+    if not tele.enabled:
+        return
+    for name, value in tags.as_dict().items():
+        if value:
+            tele.counter(
+                f"repro_cache_{cache_kind}_tag_{name}_total",
+                f"{cache_kind} cache tag {name.replace('_', ' ')}",
+            ).inc(value)
+    tele.histogram(
+        f"repro_cache_{cache_kind}_dirty_writeback_lines",
+        obs.SIZE_BUCKETS,
+        f"{cache_kind} cache dirty lines written back per batch",
+    ).observe(traffic.nvram_writes)
 
 
 class CacheModel(Protocol):

@@ -21,7 +21,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from repro.cache.base import as_lines
+from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
 from repro.units import CACHE_LINE
@@ -107,6 +107,7 @@ class DirectMappedCache:
         traffic.demand_reads = int(lines.size)
         for index in self._rounds(lines):
             self._read_round(lines[index], traffic, tags)
+        record_cache_metrics("direct_mapped", traffic, tags)
         return traffic, tags
 
     def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
@@ -146,6 +147,7 @@ class DirectMappedCache:
         traffic.demand_writes = int(lines.size)
         for index in self._rounds(lines):
             self._write_round(lines[index], traffic, tags)
+        record_cache_metrics("direct_mapped", traffic, tags)
         return traffic, tags
 
     def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:

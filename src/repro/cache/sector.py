@@ -23,7 +23,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from repro.cache.base import as_lines
+from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
 from repro.units import CACHE_LINE
@@ -125,6 +125,7 @@ class SectorCache:
         traffic.demand_reads = int(lines.size)
         for idx in self._rounds(lines):
             self._read_round(lines[idx], traffic, tags)
+        record_cache_metrics("sector", traffic, tags)
         return traffic, tags
 
     def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
@@ -160,6 +161,7 @@ class SectorCache:
         traffic.demand_writes = int(lines.size)
         for idx in self._rounds(lines):
             self._write_round(lines[idx], traffic, tags)
+        record_cache_metrics("sector", traffic, tags)
         return traffic, tags
 
     def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:

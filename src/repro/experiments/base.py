@@ -23,6 +23,21 @@ class ExperimentResult:
     def add(self, section: str) -> None:
         self.sections.append(section)
 
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Embed the run's telemetry (spans + metrics) in ``data``.
+
+        The objects serialize through :func:`repro.perf.export.to_jsonable`
+        via their ``to_jsonable`` hooks, so ``--json`` exports carry the
+        observability record alongside the experiment's numbers.
+        """
+        payload: Dict[str, Any] = {}
+        if getattr(telemetry, "tracer", None) is not None:
+            payload["spans"] = telemetry.tracer
+        if getattr(telemetry, "metrics", None) is not None:
+            payload["metrics"] = telemetry.metrics
+        if payload:
+            self.data["telemetry"] = payload
+
     def render(self) -> str:
         header = f"=== {self.name}: {self.title} ==="
         return "\n\n".join([header, *self.sections])

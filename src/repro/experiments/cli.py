@@ -5,6 +5,13 @@ Usage::
     repro-experiment list
     repro-experiment fig2 [--quick]
     repro-experiment all [--quick]
+    repro-experiment fig4 --quick --trace out.trace.json --metrics out.prom
+
+``--trace`` writes a Chrome trace-event JSON (open it in Perfetto or
+``chrome://tracing``; a ``.jsonl`` suffix switches to one-span-per-line
+JSONL).  ``--metrics`` writes a Prometheus text exposition of every
+counter, gauge, and histogram the run touched.  ``--log-level`` routes
+the ``repro.*`` logger hierarchy to stderr at the given level.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
@@ -39,6 +47,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also export each result as JSON into this directory",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record spans and write a Chrome trace-event JSON here "
+            "(use a .jsonl suffix for line-delimited span records)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a Prometheus text exposition of the run's metrics here",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="enable structured logging at LEVEL (debug, info, warning, ...)",
+    )
     args = parser.parse_args(argv)
 
     if args.name == "list":
@@ -52,20 +78,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown experiment {args.name!r}; run 'repro-experiment list'"
         )
 
-    for name in names:
-        start = time.time()
-        result = run_experiment(name, quick=args.quick)
-        print(result.render())
-        if args.json:
-            from pathlib import Path
+    if args.log_level:
+        try:
+            obs.configure_logging(args.log_level)
+        except ValueError as error:
+            parser.error(str(error))
 
-            from repro.perf.export import export_result
+    telemetry = None
+    if args.trace or args.metrics:
+        telemetry = obs.enable()
 
-            directory = Path(args.json)
-            directory.mkdir(parents=True, exist_ok=True)
-            written = export_result(result, directory / f"{name}.json")
-            print(f"[exported {written}]")
-        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    try:
+        for name in names:
+            start = time.time()
+            result = run_experiment(name, quick=args.quick)
+            print(result.render())
+            if args.json:
+                from pathlib import Path
+
+                from repro.perf.export import export_result
+
+                directory = Path(args.json)
+                directory.mkdir(parents=True, exist_ok=True)
+                written = export_result(result, directory / f"{name}.json")
+                print(f"[exported {written}]")
+            print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    finally:
+        if telemetry is not None:
+            if args.trace:
+                if str(args.trace).endswith(".jsonl"):
+                    written = telemetry.tracer.write_jsonl(args.trace)
+                else:
+                    written = telemetry.tracer.write_chrome(args.trace)
+                print(f"[trace: {len(telemetry.tracer)} spans -> {written}]")
+            if args.metrics:
+                sink = obs.PrometheusFileSink(args.metrics)
+                telemetry.metrics.sinks.append(sink)
+                telemetry.metrics.flush()
+                print(f"[metrics -> {sink.path}]")
+            obs.disable()
     return 0
 
 

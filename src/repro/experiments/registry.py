@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro import obs
 from repro.experiments import (
     ablation,
     check,
@@ -54,5 +55,18 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
+_log = obs.get_logger("experiments")
+
+
 def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
-    return get_experiment(name)(quick=quick)
+    """Run one experiment, wrapped in a root telemetry span."""
+    fn = get_experiment(name)
+    tele = obs.get()
+    _log.info("running %s (quick=%s)", name, quick)
+    if not tele.enabled:
+        return fn(quick=quick)
+    with tele.span(f"experiment:{name}", cat="experiment", quick=quick):
+        result = fn(quick=quick)
+    result.attach_telemetry(tele)
+    _log.info("finished %s: %d spans recorded", name, len(tele.tracer))
+    return result

@@ -23,11 +23,13 @@ Modelling choices:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.graphs.csr import CSRGraph
 from repro.memsys.backends import MemoryBackend
@@ -120,15 +122,37 @@ class GraphRuntime:
         self.layout = layout
         self.edge_stride = edge_stride
         self.sampler = sampler
+        self._rounds_run = 0
         self.ctx = AccessContext(
             threads=threads, pattern=Pattern.RANDOM, granularity=64, sockets=sockets
         )
 
     # -- epochs -------------------------------------------------------------
 
-    def round(self):
-        """One kernel round: an overlapped-execution epoch."""
-        return self.backend.epoch(self.ctx)
+    @contextlib.contextmanager
+    def round(self, label: Optional[str] = None):
+        """One kernel round: an overlapped-execution epoch.
+
+        When telemetry is enabled the round gets its own span, so graph
+        traces show per-iteration structure above the epoch level.
+        """
+        self._rounds_run += 1
+        tele = obs.get()
+        if tele.enabled:
+            with tele.span(
+                "graphs.round",
+                cat="graphs",
+                clock=lambda: self.backend.counters.time,
+                label=label or f"round_{self._rounds_run}",
+            ):
+                with self.backend.epoch(self.ctx) as epoch:
+                    yield epoch
+            tele.counter(
+                "repro_graph_rounds_total", "graph kernel rounds executed"
+            ).inc()
+        else:
+            with self.backend.epoch(self.ctx) as epoch:
+                yield epoch
 
     def sample(self, label: str) -> None:
         if self.sampler is not None:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cache.base import AccessKind
 from repro.cpu.cores import retired_instructions
 from repro.cpu.llc import LLCModel, WritebackQueue
@@ -73,6 +74,38 @@ def run_kernel(
     The buffer is iterated ``iterations`` times; each pass touches every
     line exactly once in the order given by the spec's pattern.
     """
+    tele = obs.get()
+    if tele.enabled:
+        with tele.span(
+            "kernels.run",
+            cat="kernels",
+            clock=lambda: backend.counters.time,
+            kernel=spec.kernel.value,
+            pattern=spec.pattern.value,
+            granularity=spec.granularity,
+            threads=spec.threads,
+            num_lines=num_lines,
+            iterations=iterations,
+        ):
+            return _run_kernel(
+                backend, spec, num_lines,
+                start_line=start_line, iterations=iterations, batch_lines=batch_lines,
+            )
+    return _run_kernel(
+        backend, spec, num_lines,
+        start_line=start_line, iterations=iterations, batch_lines=batch_lines,
+    )
+
+
+def _run_kernel(
+    backend: MemoryBackend,
+    spec: KernelSpec,
+    num_lines: int,
+    *,
+    start_line: int,
+    iterations: int,
+    batch_lines: int,
+) -> BenchmarkResult:
     if num_lines <= 0:
         raise ValueError(f"buffer must have at least one line, got {num_lines}")
     if iterations < 1:

@@ -22,6 +22,7 @@ from typing import Iterator, Optional, Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.config import PlatformConfig
 from repro.memsys.counters import (
     AccessContext,
@@ -109,7 +110,7 @@ class MemoryBackend(Protocol):
 
 
 class _EpochSupport:
-    """Shared epoch bookkeeping for the concrete backends."""
+    """Shared epoch bookkeeping and telemetry for the concrete backends."""
 
     counters: UncoreCounters
     timing: TimingModel
@@ -121,33 +122,125 @@ class _EpochSupport:
     def epoch(self, ctx: AccessContext) -> Iterator[Epoch]:
         if self._active_epoch is not None:
             raise RuntimeError("epochs do not nest")
-        epoch = Epoch(ctx)
-        self._active_epoch = epoch
+        tele = obs.get()
+        span = (
+            tele.span("memsys.epoch", cat="memsys", clock=lambda: self.counters.time)
+            if tele.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         try:
-            yield epoch
+            epoch = Epoch(ctx)
+            self._active_epoch = epoch
+            try:
+                yield epoch
+            finally:
+                self._active_epoch = None
+            breakdown = self.timing.breakdown(epoch.traffic, ctx)
+            epoch.memory_seconds = breakdown.elapsed
+            if self.timing.cache_managed:
+                # Demand misses resolve through the multi-access miss
+                # handler; those stalls are latency the core pipeline
+                # cannot hide behind compute (Figure 5a: MIPS collapses
+                # during high-miss phases), so NVRAM service adds to the
+                # compute time instead of overlapping it.
+                epoch.seconds = max(
+                    breakdown.elapsed,
+                    epoch.compute_seconds + breakdown.nvram_device,
+                )
+            else:
+                epoch.seconds = max(epoch.memory_seconds, epoch.compute_seconds)
+            self.counters.advance(epoch.seconds)
+            if span is not None:
+                span.set(
+                    accesses=epoch.traffic.total_accesses,
+                    demand_accesses=epoch.traffic.demand_accesses,
+                    amplification=epoch.traffic.amplification,
+                    seconds=epoch.seconds,
+                )
+                self._record_epoch_metrics(tele, epoch)
         finally:
-            self._active_epoch = None
-        breakdown = self.timing.breakdown(epoch.traffic, ctx)
-        epoch.memory_seconds = breakdown.elapsed
-        if self.timing.cache_managed:
-            # Demand misses resolve through the multi-access miss
-            # handler; those stalls are latency the core pipeline
-            # cannot hide behind compute (Figure 5a: MIPS collapses
-            # during high-miss phases), so NVRAM service adds to the
-            # compute time instead of overlapping it.
-            epoch.seconds = max(
-                breakdown.elapsed,
-                epoch.compute_seconds + breakdown.nvram_device,
+            if span is not None:
+                span.__exit__(None, None, None)
+
+    def _record_epoch_metrics(self, tele, epoch: Epoch) -> None:
+        tele.histogram(
+            "repro_epoch_amplification",
+            obs.AMPLIFICATION_BUCKETS,
+            "per-epoch accesses per demand access",
+        ).observe(epoch.traffic.amplification)
+        tele.histogram(
+            "repro_epoch_accesses",
+            obs.SIZE_BUCKETS,
+            "device accesses pooled per epoch",
+        ).observe(epoch.traffic.total_accesses)
+        if epoch.tags.checks:
+            tele.histogram(
+                "repro_epoch_hit_rate",
+                obs.RATIO_BUCKETS,
+                "per-epoch DRAM-cache tag hit rate",
+            ).observe(epoch.tags.hit_rate)
+        tele.gauge(
+            "repro_tag_hit_rate", "cumulative DRAM-cache tag hit rate"
+        ).set(self.counters.tags.hit_rate)
+
+    def access(
+        self,
+        lines: np.ndarray,
+        kind: AccessKind,
+        ctx: AccessContext,
+        advance: bool = True,
+        weight: int = 1,
+    ) -> AccessReport:
+        tele = obs.get()
+        if not tele.enabled:
+            return self._access(lines, kind, ctx, advance, weight)
+        with tele.span(
+            "memsys.access", cat="memsys", clock=lambda: self.counters.time
+        ) as span:
+            report = self._access(lines, kind, ctx, advance, weight)
+            span.set(
+                kind=kind.value,
+                lines=int(np.size(lines)),
+                weight=weight,
+                dram=report.traffic.dram_reads + report.traffic.dram_writes,
+                nvram=report.traffic.nvram_reads + report.traffic.nvram_writes,
             )
-        else:
-            epoch.seconds = max(epoch.memory_seconds, epoch.compute_seconds)
-        self.counters.advance(epoch.seconds)
+        tele.histogram(
+            "repro_access_batch_lines",
+            obs.SIZE_BUCKETS,
+            "LLC request batch size per backend access",
+        ).observe(int(np.size(lines)))
+        return report
+
+    def _access(
+        self,
+        lines: np.ndarray,
+        kind: AccessKind,
+        ctx: AccessContext,
+        advance: bool,
+        weight: int,
+    ) -> AccessReport:
+        raise NotImplementedError
 
     def _account(self, traffic: Traffic, tags: TagStats, ctx: AccessContext, advance: bool) -> float:
         """Record one access's traffic; return its standalone time."""
         self.counters.record_traffic(traffic)
         if tags.checks or tags.ddo_writes:
             self.counters.record_tags(tags)
+        tele = obs.get()
+        if tele.enabled:
+            for name, value in traffic.as_dict().items():
+                if value:
+                    tele.counter(
+                        f"repro_{name}_total", f"IMC {name.replace('_', ' ')} (lines)"
+                    ).inc(value)
+            for name, value in tags.as_dict().items():
+                if value:
+                    tele.counter(
+                        f"repro_tag_{name}_total", f"2LM tag {name.replace('_', ' ')}"
+                    ).inc(value)
         if self._active_epoch is not None:
             self._active_epoch.traffic += traffic
             self._active_epoch.tags += tags
@@ -173,13 +266,13 @@ class FlatBackend(_EpochSupport):
         self.counters = counters or UncoreCounters()
         self.timing = TimingModel(platform, nvram_efficiency=1.0)
 
-    def access(
+    def _access(
         self,
         lines: np.ndarray,
         kind: AccessKind,
         ctx: AccessContext,
-        advance: bool = True,
-        weight: int = 1,
+        advance: bool,
+        weight: int,
     ) -> AccessReport:
         lines = as_lines(lines)
         is_dram = self.address_map.classify(lines)
@@ -223,13 +316,13 @@ class CachedBackend(_EpochSupport):
             cache_managed=True,
         )
 
-    def access(
+    def _access(
         self,
         lines: np.ndarray,
         kind: AccessKind,
         ctx: AccessContext,
-        advance: bool = True,
-        weight: int = 1,
+        advance: bool,
+        weight: int,
     ) -> AccessReport:
         lines = as_lines(lines)
         if kind is AccessKind.LLC_READ:

@@ -106,6 +106,22 @@ class Traffic:
     demand_reads: int = 0
     demand_writes: int = 0
 
+    def as_dict(self) -> dict:
+        """Field name -> value, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "Traffic":
+        return Traffic(**self.as_dict())
+
+    def sub(self, other: "Traffic") -> "Traffic":
+        """Per-field difference ``self - other`` (counter deltas)."""
+        return Traffic(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
     def __add__(self, other: "Traffic") -> "Traffic":
         return Traffic(
             **{
@@ -187,12 +203,28 @@ class TagStats:
     dirty_misses: int = 0
     ddo_writes: int = 0
 
+    def as_dict(self) -> dict:
+        """Field name -> value, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "TagStats":
+        return TagStats(**self.as_dict())
+
+    def sub(self, other: "TagStats") -> "TagStats":
+        """Per-field difference ``self - other`` (counter deltas)."""
+        return TagStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
     def __add__(self, other: "TagStats") -> "TagStats":
         return TagStats(
-            hits=self.hits + other.hits,
-            clean_misses=self.clean_misses + other.clean_misses,
-            dirty_misses=self.dirty_misses + other.dirty_misses,
-            ddo_writes=self.ddo_writes + other.ddo_writes,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )
 
     def __iadd__(self, other: "TagStats") -> "TagStats":
@@ -237,22 +269,10 @@ class CounterSnapshot:
 
     def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
         """Counter increments between ``earlier`` and this snapshot."""
-        traffic = Traffic(
-            **{
-                f.name: getattr(self.traffic, f.name) - getattr(earlier.traffic, f.name)
-                for f in fields(Traffic)
-            }
-        )
-        tags = TagStats(
-            hits=self.tags.hits - earlier.tags.hits,
-            clean_misses=self.tags.clean_misses - earlier.tags.clean_misses,
-            dirty_misses=self.tags.dirty_misses - earlier.tags.dirty_misses,
-            ddo_writes=self.tags.ddo_writes - earlier.tags.ddo_writes,
-        )
         return CounterSnapshot(
             time=self.time - earlier.time,
-            traffic=traffic,
-            tags=tags,
+            traffic=self.traffic.sub(earlier.traffic),
+            tags=self.tags.sub(earlier.tags),
             instructions=self.instructions - earlier.instructions,
         )
 
@@ -289,14 +309,7 @@ class UncoreCounters:
     def snapshot(self) -> CounterSnapshot:
         return CounterSnapshot(
             time=self.time,
-            traffic=Traffic(
-                **{f.name: getattr(self.traffic, f.name) for f in fields(Traffic)}
-            ),
-            tags=TagStats(
-                hits=self.tags.hits,
-                clean_misses=self.tags.clean_misses,
-                dirty_misses=self.tags.dirty_misses,
-                ddo_writes=self.tags.ddo_writes,
-            ),
+            traffic=self.traffic.copy(),
+            tags=self.tags.copy(),
             instructions=self.instructions,
         )

@@ -18,9 +18,10 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +44,9 @@ class RequestTrace:
     weights: np.ndarray
     #: The (single) access context the stream ran under.
     ctx: AccessContext
+    #: Free-form provenance (workload name, config, ...), JSON-encodable;
+    #: round-trips through the saved archive.
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return int(self.extents.shape[0])
@@ -57,7 +61,12 @@ class RequestTrace:
         return self.lines[start:end], kind, int(self.weights[index])
 
     def save(self, path: str | Path) -> Path:
+        # np.savez appends .npz only when the suffix is missing; derive
+        # the real destination once and hand exactly that to numpy, so
+        # the returned path is always the file that exists on disk.
         path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
         np.savez_compressed(
             path,
             lines=self.lines,
@@ -69,9 +78,11 @@ class RequestTrace:
             granularity=self.ctx.granularity,
             sockets=self.ctx.sockets,
             streams=self.ctx.streams,
+            metadata=json.dumps(self.metadata),
         )
-        # np.savez appends .npz only when missing.
-        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+        if not path.exists():
+            raise FileNotFoundError(f"trace archive was not written at {path}")
+        return path
 
     @classmethod
     def load(cls, path: str | Path) -> "RequestTrace":
@@ -83,12 +94,16 @@ class RequestTrace:
                 sockets=int(data["sockets"]),
                 streams=int(data["streams"]),
             )
+            metadata: Dict[str, Any] = {}
+            if "metadata" in data.files:
+                metadata = json.loads(str(data["metadata"][()]))
             return cls(
                 lines=data["lines"],
                 extents=data["extents"],
                 kinds=data["kinds"],
                 weights=data["weights"],
                 ctx=ctx,
+                metadata=metadata,
             )
 
 
@@ -111,7 +126,7 @@ class _TraceBuilder:
         self.kinds.append(0 if kind is AccessKind.LLC_READ else 1)
         self.weights.append(weight)
 
-    def build(self) -> RequestTrace:
+    def build(self, metadata: Optional[Dict[str, Any]] = None) -> RequestTrace:
         if self.ctx is None:
             raise ConfigurationError("nothing recorded")
         sizes = np.array([c.size for c in self.chunks], dtype=np.int64)
@@ -123,14 +138,22 @@ class _TraceBuilder:
             kinds=np.array(self.kinds, dtype=np.int8),
             weights=np.array(self.weights, dtype=np.int64),
             ctx=self.ctx,
+            metadata=dict(metadata or {}),
         )
 
 
 class RecordingBackend:
-    """Wraps a backend, forwarding accesses while recording them."""
+    """Wraps a backend, forwarding accesses while recording them.
 
-    def __init__(self, inner: MemoryBackend) -> None:
+    ``metadata`` (e.g. ``{"workload": "bfs_kron25"}``) is stamped onto
+    every trace built from this recorder and survives save/load.
+    """
+
+    def __init__(
+        self, inner: MemoryBackend, metadata: Optional[Dict[str, Any]] = None
+    ) -> None:
         self.inner = inner
+        self.metadata = dict(metadata or {})
         self._builder = _TraceBuilder()
 
     # Delegate the backend surface.
@@ -159,7 +182,7 @@ class RecordingBackend:
 
     @property
     def trace(self) -> RequestTrace:
-        return self._builder.build()
+        return self._builder.build(self.metadata)
 
 
 def replay(trace: RequestTrace, backend: MemoryBackend, epoch_batches: int = 64):

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.memsys.backends import MemoryBackend
 from repro.memsys.counters import (
@@ -175,6 +176,20 @@ def execute_iteration(
 
 
 def _run_op(op, addresser, backend, ctx, cpu, weight) -> KernelRecord:
+    tele = obs.get()
+    if tele.enabled:
+        with tele.span(
+            "nn.kernel",
+            cat="nn",
+            clock=lambda: backend.counters.time,
+            op=op.name,
+            kind=op.kind.value,
+        ):
+            return _run_op_inner(op, addresser, backend, ctx, cpu, weight)
+    return _run_op_inner(op, addresser, backend, ctx, cpu, weight)
+
+
+def _run_op_inner(op, addresser, backend, ctx, cpu, weight) -> KernelRecord:
     start = backend.counters.time
     with backend.epoch(ctx) as epoch:
         if op.kind is not OpKind.PARAMETER:

@@ -1,0 +1,55 @@
+"""Single structured-logging configurator for the whole simulator.
+
+Every module logs through ``logging.getLogger("repro.<area>")``; this
+module owns the one place handlers and levels are set, so the CLI's
+``--log-level`` flag (and library embedders) configure everything at
+once without fighting other handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: The root of the simulator's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(area: str) -> logging.Logger:
+    """``logging.getLogger("repro.<area>")`` with the prefix applied."""
+    if area.startswith(ROOT_LOGGER):
+        return logging.getLogger(area)
+    return logging.getLogger(f"{ROOT_LOGGER}.{area}")
+
+
+def configure_logging(
+    level: "int | str" = "info",
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Point the ``repro`` logger hierarchy at one stream handler.
+
+    Idempotent: repeated calls reconfigure the existing handler rather
+    than stacking duplicates.  Returns the root ``repro`` logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

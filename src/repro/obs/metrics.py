@@ -1,0 +1,295 @@
+"""Metrics registry: counters, gauges, histograms, and pluggable sinks.
+
+The instruments mirror the Prometheus data model because that is the
+lingua franca of production metrics, and because the paper's own
+methodology is counter sampling (Section III-B) — a counter bank plus a
+text exposition is exactly what a scaled-out deployment of this
+simulator would scrape.
+
+* :class:`Counter` — monotonically increasing total.
+* :class:`Gauge` — a value that can move both ways (hit rate, occupancy).
+* :class:`Histogram` — fixed cumulative bucket boundaries (``le``
+  semantics), plus sum and count, so per-epoch distributions
+  (amplification, batch sizes) survive aggregation.
+
+Sinks consume :class:`MetricsSnapshot` objects: :class:`JsonlFileSink`
+appends one JSON line per flush, :class:`PrometheusFileSink` rewrites a
+Prometheus text-exposition file, :class:`InMemorySink` keeps snapshots
+for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Protocol, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default bucket boundaries for access-amplification histograms
+#: (Table I tops out at 5 accesses per demand access).
+AMPLIFICATION_BUCKETS = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0)
+#: Default bucket boundaries for batch/epoch size histograms (lines).
+SIZE_BUCKETS = (64.0, 1024.0, 16384.0, 65536.0, 262144.0, 1048576.0)
+#: Default bucket boundaries for rate-like [0, 1] metrics (hit rate).
+RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Point-in-time histogram state: cumulative bucket counts."""
+
+    name: str
+    help: str
+    #: (upper bound, cumulative count) pairs; the implicit +Inf bucket
+    #: equals ``count``.
+    buckets: Tuple[Tuple[float, int], ...]
+    sum: float
+    count: int
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time state of every instrument in a registry."""
+
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    histograms: Tuple[HistogramSnapshot, ...]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary cumulative histogram (Prometheus ``le`` semantics)."""
+
+    __slots__ = ("name", "help", "bounds", "_counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float], help: str = "") -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                f"histogram {name} bounds must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)  # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[index] += 1
+                return
+        # Falls through into the implicit +Inf bucket (count only).
+
+    def snapshot(self) -> HistogramSnapshot:
+        cumulative = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self._counts):
+            running += bucket
+            cumulative.append((bound, running))
+        return HistogramSnapshot(
+            name=self.name,
+            help=self.help,
+            buckets=tuple(cumulative),
+            sum=self.sum,
+            count=self.count,
+        )
+
+
+class MetricsSink(Protocol):
+    """Anything that can consume a metrics snapshot."""
+
+    def write(self, snapshot: MetricsSnapshot) -> None: ...
+
+
+class InMemorySink:
+    """Keeps every flushed snapshot; the test double."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[MetricsSnapshot] = []
+
+    def write(self, snapshot: MetricsSnapshot) -> None:
+        self.snapshots.append(snapshot)
+
+
+class JsonlFileSink:
+    """Appends one JSON object per flush to a file."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def write(self, snapshot: MetricsSnapshot) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(snapshot_to_jsonable(snapshot)))
+            handle.write("\n")
+
+
+class PrometheusFileSink:
+    """Rewrites a Prometheus text-exposition file on every flush."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def write(self, snapshot: MetricsSnapshot) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(render_prometheus(snapshot))
+
+
+def snapshot_to_jsonable(snapshot: MetricsSnapshot) -> Dict[str, Any]:
+    return {
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "histograms": [
+            {
+                "name": h.name,
+                "buckets": [[le, n] for le, n in h.buckets],
+                "sum": h.sum,
+                "count": h.count,
+            }
+            for h in snapshot.histograms
+        ],
+    }
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(snapshot.gauges[name])}")
+    for hist in sorted(snapshot.histograms, key=lambda h: h.name):
+        lines.append(f"# TYPE {hist.name} histogram")
+        for bound, cumulative in hist.buckets:
+            lines.append(
+                f'{hist.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{hist.name}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{hist.name}_sum {_format_value(hist.sum)}")
+        lines.append(f"{hist.name}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create instrument store with attached sinks."""
+
+    sinks: List[MetricsSink] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = SIZE_BUCKETS, help: str = ""
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds, help))
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> MetricsSnapshot:
+        counters = {}
+        gauges = {}
+        histograms = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                histograms.append(instrument.snapshot())
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=tuple(histograms)
+        )
+
+    def to_prometheus(self) -> str:
+        return render_prometheus(self.snapshot())
+
+    def flush(self) -> MetricsSnapshot:
+        """Snapshot the registry and push it to every attached sink."""
+        snapshot = self.snapshot()
+        for sink in self.sinks:
+            sink.write(snapshot)
+        return snapshot
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Hook for :func:`repro.perf.export.to_jsonable`."""
+        return snapshot_to_jsonable(self.snapshot())

@@ -1,0 +1,193 @@
+"""Nested, timed spans and their Chrome trace-event export.
+
+A span is one named, nested interval of work (an experiment, an epoch,
+a device-access batch).  Every span records *two* clocks:
+
+* **host wall-clock** (``time.perf_counter``), which is what Chrome
+  trace-event timestamps use, so traces open directly in Perfetto or
+  ``chrome://tracing``; and
+* **virtual simulator time**, read from an optional ``clock`` callable
+  (typically ``lambda: backend.counters.time``), carried in the event's
+  ``args`` so traffic can be lined up against the simulated timeline.
+
+The tracer is strictly single-threaded (the simulator is too): nesting
+is tracked with an explicit stack, and depth is recorded per span so
+tests and exports can reason about the hierarchy without re-deriving
+it from timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    cat: str
+    #: Nesting depth at the time the span opened (root spans are 0).
+    depth: int
+    #: Host wall-clock start, seconds relative to the tracer's origin.
+    wall_start: float
+    wall_end: float
+    #: Virtual simulator time at entry/exit (None when no clock given).
+    sim_start: Optional[float] = None
+    sim_end: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_duration(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def to_chrome_event(self) -> Dict[str, Any]:
+        """A Chrome trace-event "complete" (``ph: X``) event."""
+        args = dict(self.args)
+        if self.sim_start is not None:
+            args["sim_start_s"] = self.sim_start
+            args["sim_end_s"] = self.sim_end
+            args["sim_duration_s"] = self.sim_duration
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "ts": self.wall_start * 1e6,  # microseconds, per the spec
+            "dur": self.wall_duration * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        }
+
+
+class Span:
+    """A live span; use as a context manager via :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "_clock", "record")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        cat: str,
+        clock: Optional[Callable[[], float]],
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self._clock = clock
+        self.record = SpanRecord(
+            name=name,
+            cat=cat,
+            depth=len(tracer._stack),
+            wall_start=tracer._now(),
+            wall_end=0.0,
+            sim_start=clock() if clock is not None else None,
+            args=args,
+        )
+
+    def set(self, **args: Any) -> "Span":
+        """Attach (or overwrite) annotation args on the span."""
+        self.record.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.record.wall_end = self._tracer._now()
+        if self._clock is not None:
+            self.record.sim_end = self._clock()
+        popped = self._tracer._stack.pop()
+        if popped is not self:
+            raise RuntimeError(
+                f"span {self.record.name!r} closed out of order "
+                f"(expected {popped.record.name!r})"
+            )
+        self._tracer.records.append(self.record)
+
+
+class SpanTracer:
+    """Collects spans and exports them as Chrome trace JSON or JSONL."""
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self._stack: List[Span] = []
+        self.records: List[SpanRecord] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def span(
+        self,
+        name: str,
+        cat: str = "sim",
+        clock: Optional[Callable[[], float]] = None,
+        **args: Any,
+    ) -> Span:
+        """Open a span; use as ``with tracer.span("epoch") as sp:``."""
+        return Span(self, name, cat, clock, args)
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records)
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object (Perfetto-loadable)."""
+        return {
+            "traceEvents": [r.to_chrome_event() for r in self.records],
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs"},
+        }
+
+    def write_chrome(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome(), indent=1))
+        return path
+
+    def write_jsonl(self, path: "str | Path") -> Path:
+        """One span record per line, in completion order."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(self.record_to_jsonable(record)))
+                handle.write("\n")
+        return path
+
+    @staticmethod
+    def record_to_jsonable(record: SpanRecord) -> Dict[str, Any]:
+        return {
+            "name": record.name,
+            "cat": record.cat,
+            "depth": record.depth,
+            "wall_start": record.wall_start,
+            "wall_end": record.wall_end,
+            "sim_start": record.sim_start,
+            "sim_end": record.sim_end,
+            "args": record.args,
+        }
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """Hook for :func:`repro.perf.export.to_jsonable`."""
+        return [self.record_to_jsonable(r) for r in self.records]

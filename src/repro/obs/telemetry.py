@@ -1,0 +1,169 @@
+"""The global telemetry handle and its zero-overhead null twin.
+
+Instrumented hot paths follow one discipline::
+
+    from repro import obs
+    ...
+    tele = obs.get()
+    if tele.enabled:
+        with tele.span("memsys.epoch", cat="memsys"):
+            ...
+
+When telemetry is disabled — the default — ``obs.get()`` returns the
+shared :data:`NULL_TELEMETRY` singleton and the guard costs a global
+read plus one attribute lookup; no span objects, dicts, or clock reads
+are ever constructed.  ``benchmarks/test_obs_overhead.py`` holds this
+to < 5 % of the fig2 kernel path.
+
+Even unguarded use is safe: every method on :class:`NullTelemetry`
+returns a shared no-op instrument, so cold paths may skip the
+``enabled`` check entirely.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, SIZE_BUCKETS
+from repro.obs.spans import Span, SpanTracer
+
+
+class _NullSpan:
+    """Reusable no-op context manager standing in for a :class:`Span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+class _NullInstrument:
+    """No-op counter/gauge/histogram; absorbs every recording call."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Telemetry:
+    """Live telemetry: a span tracer plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def span(
+        self,
+        name: str,
+        cat: str = "sim",
+        clock: Optional[Callable[[], float]] = None,
+        **args: Any,
+    ) -> Span:
+        return self.tracer.span(name, cat=cat, clock=clock, **args)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.metrics.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.metrics.gauge(name, help)
+
+    def histogram(self, name: str, bounds=SIZE_BUCKETS, help: str = "") -> Histogram:
+        return self.metrics.histogram(name, bounds, help)
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a shared no-op."""
+
+    enabled = False
+    tracer = None
+    metrics = None
+
+    def span(self, name: str, cat: str = "sim", clock=None, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=SIZE_BUCKETS, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+#: The process-wide handle instrumented code reads via :func:`get`.
+_active: "Telemetry | NullTelemetry" = NULL_TELEMETRY
+
+
+def get() -> "Telemetry | NullTelemetry":
+    """The current telemetry handle (the null singleton when disabled)."""
+    return _active
+
+
+def set_telemetry(telemetry: "Telemetry | NullTelemetry") -> "Telemetry | NullTelemetry":
+    """Install ``telemetry`` as the process-wide handle; returns it."""
+    global _active
+    _active = telemetry
+    return telemetry
+
+
+def enable(
+    tracer: Optional[SpanTracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Telemetry:
+    """Install (and return) a fresh live :class:`Telemetry`."""
+    telemetry = Telemetry(tracer=tracer, metrics=metrics)
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def disable() -> NullTelemetry:
+    """Restore the null handle."""
+    set_telemetry(NULL_TELEMETRY)
+    return NULL_TELEMETRY
+
+
+@contextlib.contextmanager
+def session(
+    telemetry: "Telemetry | NullTelemetry | None" = None,
+) -> Iterator["Telemetry | NullTelemetry"]:
+    """Scoped telemetry: install for the block, restore the previous
+    handle on exit.  With no argument, installs a fresh live handle."""
+    previous = _active
+    installed = set_telemetry(telemetry if telemetry is not None else Telemetry())
+    try:
+        yield installed
+    finally:
+        set_telemetry(previous)

@@ -23,6 +23,11 @@ def to_jsonable(value: Any) -> Any:
         return value
     if isinstance(value, enum.Enum):
         return value.value
+    # Telemetry objects (SpanTracer, MetricsRegistry, snapshots, ...)
+    # expose an explicit serialization hook.
+    hook = getattr(value, "to_jsonable", None)
+    if callable(hook) and not isinstance(value, type):
+        return to_jsonable(hook())
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):

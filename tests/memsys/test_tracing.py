@@ -66,6 +66,31 @@ class TestRoundTrip:
         assert np.array_equal(loaded.lines, trace.lines)
         assert np.array_equal(loaded.kinds, trace.kinds)
 
+    def test_save_returns_existing_path_with_suffix_appended(self, platform, tmp_path):
+        recorder, _ = record_kernel(platform)
+        path = recorder.trace.save(tmp_path / "stream")  # no .npz suffix
+        assert path.exists()
+        assert path.suffix == ".npz"
+        assert RequestTrace.load(path).total_requests > 0
+
+    def test_metadata_round_trips(self, platform, tmp_path):
+        cache = DirectMappedCache(platform.socket.dram_capacity)
+        recorder = RecordingBackend(
+            CachedBackend(platform, cache),
+            metadata={"workload": "read_only_scan", "threads": 8},
+        )
+        run_kernel(recorder, KernelSpec(Kernel.READ_ONLY, threads=8), 5_000)
+        trace = recorder.trace
+        assert trace.metadata["workload"] == "read_only_scan"
+        path = trace.save(tmp_path / "tagged.npz")
+        loaded = RequestTrace.load(path)
+        assert loaded.metadata == {"workload": "read_only_scan", "threads": 8}
+
+    def test_missing_metadata_defaults_empty(self, platform, tmp_path):
+        recorder, _ = record_kernel(platform)
+        path = recorder.trace.save(tmp_path / "plain.npz")
+        assert RequestTrace.load(path).metadata == {}
+
     def test_batch_accessor(self, platform):
         recorder, _ = record_kernel(platform)
         trace = recorder.trace
@@ -76,6 +101,27 @@ class TestRoundTrip:
 
 
 class TestReplay:
+    def test_record_save_load_replay_parity(self, platform, tmp_path):
+        """Full round trip: a replayed archive reproduces the live run's
+        counter delta exactly (traffic, tags, and demand totals)."""
+        cache = DirectMappedCache(platform.socket.dram_capacity)
+        live_backend = CachedBackend(platform, cache)
+        recorder = RecordingBackend(live_backend, metadata={"workload": "parity"})
+        live_start = live_backend.counters.snapshot()
+        run_kernel(recorder, KernelSpec(Kernel.READ_ONLY, threads=8), 20_000)
+        live_delta = live_backend.counters.snapshot().delta(live_start)
+
+        path = recorder.trace.save(tmp_path / "parity.npz")
+        loaded = RequestTrace.load(path)
+        assert loaded.metadata == {"workload": "parity"}
+
+        fresh = CachedBackend(
+            platform, DirectMappedCache(platform.socket.dram_capacity)
+        )
+        replay_delta = replay(loaded, fresh)
+        assert replay_delta.traffic == live_delta.traffic
+        assert replay_delta.tags == live_delta.tags
+
     def test_replay_reproduces_traffic(self, platform):
         recorder, original = record_kernel(platform)
         trace = recorder.trace

@@ -1,0 +1,138 @@
+"""Tests for the span tracer: nesting, clocks, and export formats."""
+
+import json
+
+import pytest
+
+from repro.obs import SpanTracer
+
+
+class TestNesting:
+    def test_depths_follow_nesting(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    assert tracer.depth == 3
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["root"].depth == 0
+        assert by_name["child"].depth == 1
+        assert by_name["grandchild"].depth == 2
+
+    def test_records_appended_in_completion_order(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.records] == ["inner", "outer"]
+
+    def test_sibling_spans_share_depth(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["a"].depth == by_name["b"].depth == 1
+
+    def test_child_interval_inside_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["parent"].wall_start <= by_name["child"].wall_start
+        assert by_name["child"].wall_end <= by_name["parent"].wall_end
+
+    def test_exception_still_closes_span(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.depth == 0
+        assert [r.name for r in tracer.records] == ["doomed"]
+
+
+class TestClocks:
+    def test_sim_clock_recorded(self):
+        clock_value = [1.0]
+        tracer = SpanTracer()
+        with tracer.span("epoch", clock=lambda: clock_value[0]):
+            clock_value[0] = 3.5
+        record = tracer.records[0]
+        assert record.sim_start == 1.0
+        assert record.sim_end == 3.5
+        assert record.sim_duration == 2.5
+
+    def test_no_clock_means_no_sim_time(self):
+        tracer = SpanTracer()
+        with tracer.span("plain"):
+            pass
+        record = tracer.records[0]
+        assert record.sim_start is None
+        assert record.sim_duration is None
+
+    def test_wall_clock_monotone(self):
+        tracer = SpanTracer()
+        with tracer.span("timed"):
+            pass
+        record = tracer.records[0]
+        assert record.wall_end >= record.wall_start >= 0.0
+
+
+class TestAnnotations:
+    def test_args_via_kwargs_and_set(self):
+        tracer = SpanTracer()
+        with tracer.span("k", kernel="read_only") as span:
+            span.set(lines=42)
+        record = tracer.records[0]
+        assert record.args == {"kernel": "read_only", "lines": 42}
+
+
+class TestChromeExport:
+    def _trace(self):
+        tracer = SpanTracer()
+        with tracer.span("root", cat="experiment", clock=lambda: 0.0):
+            with tracer.span("leaf", cat="memsys"):
+                pass
+        return tracer
+
+    def test_schema(self):
+        chrome = self._trace().to_chrome()
+        assert "traceEvents" in chrome
+        assert chrome["displayTimeUnit"] == "ms"
+        for event in chrome["traceEvents"]:
+            assert event["ph"] == "X"
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == 1
+            assert event["tid"] == 1
+            assert isinstance(event["args"], dict)
+
+    def test_sim_time_lands_in_args(self):
+        chrome = self._trace().to_chrome()
+        root = [e for e in chrome["traceEvents"] if e["name"] == "root"][0]
+        assert root["args"]["sim_start_s"] == 0.0
+
+    def test_json_round_trip(self, tmp_path):
+        tracer = self._trace()
+        path = tracer.write_chrome(tmp_path / "out.trace.json")
+        parsed = json.loads(path.read_text())
+        assert len(parsed["traceEvents"]) == 2
+
+    def test_jsonl_one_record_per_line(self, tmp_path):
+        tracer = self._trace()
+        path = tracer.write_jsonl(tmp_path / "out.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"root", "leaf"}
+        assert all("depth" in r for r in records)
+
+    def test_to_jsonable_hook(self):
+        payload = self._trace().to_jsonable()
+        assert isinstance(payload, list)
+        assert payload[0]["name"] == "leaf"  # completion order
