@@ -6,6 +6,11 @@ non-demand accesses, and semantically dead dirty data.  This experiment
 varies the cache design — Dirty Data Optimization on/off, always-insert
 vs write-around on write misses, direct-mapped vs 8-way LRU — and
 re-measures a DenseNet 2LM iteration under each variant.
+
+Each variant is one point of a :class:`~repro.exec.SweepSpec` (the
+variant *name* is the parameter — the factories are looked up in the
+worker, keeping points picklable), so the design space fans across
+worker processes under ``--jobs``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.cache import (
     SectorCache,
     SetAssociativeCache,
 )
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import cnn_platform_for, training_setup
 from repro.memsys import CachedBackend
@@ -50,42 +56,58 @@ VARIANTS: Dict[str, tuple] = {
 }
 
 
-@lru_cache(maxsize=2)
-def run(quick: bool = True) -> ExperimentResult:
+def run_variant(variant: str, quick: bool) -> Dict[str, float]:
+    """One grid point: a full 2LM DenseNet iteration under one design."""
     platform = cnn_platform_for(quick)
     scale = platform.scale_factor
     training, plan = training_setup("densenet264", quick=quick)
-    capacity = platform.socket.dram_capacity
+    factory, stride = VARIANTS[variant]
+
+    cache = factory(platform.socket.dram_capacity)
+    backend = CachedBackend(platform, cache)
+    execute_iteration(plan, backend, sample_stride=stride)  # warm-up
+    execution = execute_iteration(plan, backend, sample_stride=stride)
+    traffic, tags = execution.traffic, execution.tags
+    return {
+        "seconds": execution.seconds,
+        "amplification": traffic.amplification,
+        "hit_rate": tags.hit_rate,
+        "nvram_read_gb": traffic.nvram_reads * 64 * scale / 1e9,
+        "nvram_write_gb": traffic.nvram_writes * 64 * scale / 1e9,
+        "ddo_writes": tags.ddo_writes,
+    }
+
+
+def sweep_spec(quick: bool) -> SweepSpec:
+    return SweepSpec.grid(
+        "ablation",
+        run_variant,
+        axes={"variant": list(VARIANTS)},
+        common=dict(quick=quick),
+    )
+
+
+@lru_cache(maxsize=4)
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
+    data_by_variant = dict(
+        zip(VARIANTS, run_sweep(sweep_spec(quick), jobs=jobs))
+    )
 
     result = ExperimentResult(
         name="ablation", title="DRAM-cache design-space ablation (DenseNet iteration)"
     )
     rows = []
-    data = {}
-    for name, (factory, stride) in VARIANTS.items():
-        cache = factory(capacity)
-        backend = CachedBackend(platform, cache)
-        execute_iteration(plan, backend, sample_stride=stride)  # warm-up
-        execution = execute_iteration(plan, backend, sample_stride=stride)
-        traffic, tags = execution.traffic, execution.tags
+    for name, v in data_by_variant.items():
         rows.append(
             [
                 name,
-                f"{execution.seconds:.0f}",
-                f"{traffic.amplification:.2f}",
-                f"{tags.hit_rate:.3f}",
-                f"{traffic.nvram_reads * 64 * scale / 1e9:.0f}",
-                f"{traffic.nvram_writes * 64 * scale / 1e9:.0f}",
+                f"{v['seconds']:.0f}",
+                f"{v['amplification']:.2f}",
+                f"{v['hit_rate']:.3f}",
+                f"{v['nvram_read_gb']:.0f}",
+                f"{v['nvram_write_gb']:.0f}",
             ]
         )
-        data[name] = {
-            "seconds": execution.seconds,
-            "amplification": traffic.amplification,
-            "hit_rate": tags.hit_rate,
-            "nvram_read_gb": traffic.nvram_reads * 64 * scale / 1e9,
-            "nvram_write_gb": traffic.nvram_writes * 64 * scale / 1e9,
-            "ddo_writes": tags.ddo_writes,
-        }
 
     result.add(
         render_table(
@@ -94,5 +116,5 @@ def run(quick: bool = True) -> ExperimentResult:
             title="Ablation — one training iteration in 2LM per cache variant",
         )
     )
-    result.data = data
+    result.data = data_by_variant
     return result

@@ -3,26 +3,76 @@
 Usage::
 
     repro-experiment list
-    repro-experiment fig2 [--quick]
-    repro-experiment all [--quick]
+    repro-experiment fig2 [--quick] [--jobs 4]
+    repro-experiment all [--quick] [--jobs 4] [--bench BENCH_experiments.json]
     repro-experiment fig4 --quick --trace out.trace.json --metrics out.prom
+
+``--jobs N`` fans work across N worker processes: a single sweep-based
+experiment parallelizes its grid; ``all`` dispatches whole experiments
+in parallel.  Results are identical to a serial run — only wall-clock
+changes.  ``--bench`` writes a perf-trajectory JSON mapping each
+experiment to its wall-clock seconds (plus jobs/quick metadata) so
+successive commits can be compared.
 
 ``--trace`` writes a Chrome trace-event JSON (open it in Perfetto or
 ``chrome://tracing``; a ``.jsonl`` suffix switches to one-span-per-line
 JSONL).  ``--metrics`` writes a Prometheus text exposition of every
-counter, gauge, and histogram the run touched.  ``--log-level`` routes
-the ``repro.*`` logger hierarchy to stderr at the given level.
+counter, gauge, and histogram the run touched — both capture worker
+telemetry too, merged back through the sweep engine.  ``--log-level``
+routes the ``repro.*`` logger hierarchy to stderr at the given level.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.exec import SweepSpec, run_sweep
+from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _run_named(name: str, quick: bool) -> Tuple[ExperimentResult, float]:
+    """Sweep point for ``all``: one experiment, timed inside the worker."""
+    start = time.time()
+    result = run_experiment(name, quick=quick)
+    return result, time.time() - start
+
+
+def _emit(result: ExperimentResult, seconds: float, args, bench: Dict[str, float]) -> None:
+    """Print one finished experiment and record its wall-clock."""
+    print(result.render())
+    if args.json:
+        from repro.perf.export import export_result
+
+        directory = Path(args.json)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = export_result(result, directory / f"{result.name}.json")
+        print(f"[exported {written}]")
+    bench[result.name] = seconds
+    print(f"\n[{result.name} completed in {seconds:.1f}s]\n")
+
+
+def _write_bench(path: str, bench: Dict[str, float], args, total_seconds: float) -> Path:
+    """Write the perf-trajectory file: per-experiment seconds + metadata."""
+    payload = {
+        "experiments": {name: round(seconds, 3) for name, seconds in bench.items()},
+        "meta": {
+            "jobs": args.jobs,
+            "quick": bool(args.quick),
+            "total_seconds": round(total_seconds, 3),
+            "unix_time": int(time.time()),
+        },
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return out
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -43,9 +93,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="shrink workload sizes for a fast smoke run",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan work across N worker processes (default 1 = serial; "
+            "results are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also export each result as JSON into this directory",
+    )
+    parser.add_argument(
+        "--bench",
+        metavar="FILE",
+        help=(
+            "write a perf-trajectory JSON ({experiment: seconds} plus "
+            "jobs/quick metadata) here, e.g. BENCH_experiments.json"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -77,6 +145,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"unknown experiment {args.name!r}; run 'repro-experiment list'"
         )
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.log_level:
         try:
@@ -88,21 +158,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace or args.metrics:
         telemetry = obs.enable()
 
+    bench: Dict[str, float] = {}
+    run_start = time.time()
     try:
-        for name in names:
-            start = time.time()
-            result = run_experiment(name, quick=args.quick)
-            print(result.render())
-            if args.json:
-                from pathlib import Path
-
-                from repro.perf.export import export_result
-
-                directory = Path(args.json)
-                directory.mkdir(parents=True, exist_ok=True)
-                written = export_result(result, directory / f"{name}.json")
-                print(f"[exported {written}]")
-            print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+        if len(names) > 1 and args.jobs > 1:
+            # 'all': the experiment list is itself a sweep — dispatch
+            # whole experiments across the pool (inner sweeps stay
+            # serial so the machine isn't oversubscribed).
+            spec = SweepSpec.grid(
+                "experiments",
+                _run_named,
+                axes={"name": names},
+                common=dict(quick=args.quick),
+            )
+            for result, seconds in run_sweep(spec, jobs=args.jobs):
+                _emit(result, seconds, args, bench)
+        else:
+            for name in names:
+                start = time.time()
+                result = run_experiment(name, quick=args.quick, jobs=args.jobs)
+                _emit(result, time.time() - start, args, bench)
+        if args.bench:
+            written = _write_bench(args.bench, bench, args, time.time() - run_start)
+            print(f"[bench -> {written}]")
     finally:
         if telemetry is not None:
             if args.trace:

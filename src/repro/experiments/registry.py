@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from repro import obs
@@ -58,15 +59,33 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
 _log = obs.get_logger("experiments")
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment, wrapped in a root telemetry span."""
+def supports_jobs(name: str) -> bool:
+    """Whether an experiment's ``run`` accepts a ``jobs`` parameter."""
+    return "jobs" in inspect.signature(EXPERIMENTS[name]).parameters
+
+
+def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    """Run one experiment, wrapped in a root telemetry span.
+
+    ``jobs`` is forwarded to sweep-based experiments (those whose
+    ``run`` accepts it) and ignored — with a log note — for the rest.
+    Only non-default values are forwarded, so direct serial callers and
+    the registry share memoization entries (``ablation.run`` is
+    ``lru_cache``-d).
+    """
     fn = get_experiment(name)
+    kwargs = {"quick": quick}
+    if jobs != 1:
+        if supports_jobs(name):
+            kwargs["jobs"] = jobs
+        else:
+            _log.info("%s does not sweep; ignoring jobs=%d", name, jobs)
     tele = obs.get()
-    _log.info("running %s (quick=%s)", name, quick)
+    _log.info("running %s (quick=%s, jobs=%d)", name, quick, jobs)
     if not tele.enabled:
-        return fn(quick=quick)
+        return fn(**kwargs)
     with tele.span(f"experiment:{name}", cat="experiment", quick=quick):
-        result = fn(quick=quick)
+        result = fn(**kwargs)
     result.attach_telemetry(tele)
     _log.info("finished %s: %d spans recorded", name, len(tele.tracer))
     return result

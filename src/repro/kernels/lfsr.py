@@ -96,22 +96,30 @@ def max_length_lfsr_states(width: int) -> np.ndarray:
     states = np.zeros(period, dtype=np.int64)
     for i in range(width):
         states |= bits[i : i + period].astype(np.int64) << i
+    states.setflags(write=False)  # shared cache entry
     return states
 
 
+@lru_cache(maxsize=32)
 def lfsr_sequence(n: int) -> np.ndarray:
     """A pseudo-random visit order of ``range(n)``, each index exactly once.
 
     Uses the smallest maximum-length LFSR covering ``n`` and discards
     states that map outside the array, exactly as the paper's benchmark
     generator does.
+
+    Memoized per process: returns a shared **read-only** array
+    (``writeable=False``); copy before mutating.
     """
     if n < 0:
         raise ValueError(f"sequence length must be non-negative, got {n}")
     if n == 0:
-        return np.empty(0, dtype=np.int64)
-    if n == 1:
-        return np.zeros(1, dtype=np.int64)
-    states = max_length_lfsr_states(_width_for(n))
-    indices = states - 1  # states cover 1..2^w-1; shift to 0-based
-    return indices[indices < n]
+        sequence = np.empty(0, dtype=np.int64)
+    elif n == 1:
+        sequence = np.zeros(1, dtype=np.int64)
+    else:
+        states = max_length_lfsr_states(_width_for(n))
+        indices = states - 1  # states cover 1..2^w-1; shift to 0-based
+        sequence = indices[indices < n]
+    sequence.setflags(write=False)
+    return sequence

@@ -118,7 +118,12 @@ def _run_kernel(
         sockets=spec.sockets,
     )
     llc = LLCModel(backend.timing.platform.socket.cpu)
-    order = start_line + access_blocks(num_lines, spec.pattern, spec.granularity)
+    # access_blocks returns a shared read-only cache entry; the request
+    # pipeline below only ever slices it, so the zero-offset case can
+    # use it directly.  A non-zero offset allocates a fresh array.
+    order = access_blocks(num_lines, spec.pattern, spec.granularity)
+    if start_line:
+        order = start_line + order
 
     totals = Traffic()
     tags = TagStats()

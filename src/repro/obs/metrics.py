@@ -142,6 +142,25 @@ class Histogram:
             count=self.count,
         )
 
+    def merge_snapshot(self, snapshot: HistogramSnapshot) -> None:
+        """Fold another registry's snapshot of this histogram into ours.
+
+        The snapshot's cumulative buckets are differenced back into
+        per-bucket counts; bounds must match exactly.
+        """
+        bounds = tuple(le for le, _ in snapshot.buckets)
+        if bounds != self.bounds:
+            raise ConfigurationError(
+                f"histogram {self.name} bounds {self.bounds} do not match "
+                f"snapshot bounds {bounds}"
+            )
+        previous = 0
+        for index, (_, cumulative) in enumerate(snapshot.buckets):
+            self._counts[index] += cumulative - previous
+            previous = cumulative
+        self.sum += snapshot.sum
+        self.count += snapshot.count
+
 
 class MetricsSink(Protocol):
     """Anything that can consume a metrics snapshot."""
@@ -279,6 +298,25 @@ class MetricsRegistry:
         return MetricsSnapshot(
             counters=counters, gauges=gauges, histograms=tuple(histograms)
         )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a foreign registry's snapshot into this registry.
+
+        Counters accumulate, gauges take the snapshot's (later) value,
+        histogram buckets add.  This is how a sweep worker's metrics
+        rejoin the parent process's registry — merging snapshots from
+        workers in grid order keeps the result deterministic.
+        """
+        for name, value in snapshot.counters.items():
+            if value:
+                self.counter(name).inc(value)
+            else:
+                self.counter(name)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for hist in snapshot.histograms:
+            bounds = tuple(le for le, _ in hist.buckets)
+            self.histogram(hist.name, bounds, hist.help).merge_snapshot(hist)
 
     def to_prometheus(self) -> str:
         return render_prometheus(self.snapshot())

@@ -18,11 +18,12 @@ it from timestamps.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass
@@ -142,6 +143,43 @@ class SpanTracer:
     def depth(self) -> int:
         """Current nesting depth (number of open spans)."""
         return len(self._stack)
+
+    @property
+    def origin_abs(self) -> float:
+        """This tracer's origin as an absolute ``time.perf_counter`` value.
+
+        ``perf_counter`` reads a system-wide monotonic clock, so origins
+        taken in different processes on the same machine are directly
+        comparable — the sweep engine uses the difference to rebase
+        worker spans onto the parent tracer's timeline.
+        """
+        return self._origin
+
+    def absorb(
+        self,
+        records: Iterable[SpanRecord],
+        wall_offset: float = 0.0,
+        depth_offset: int = 0,
+    ) -> int:
+        """Append finished spans recorded by another tracer.
+
+        ``wall_offset`` (seconds) rebases the foreign records' wall
+        clocks onto this tracer's origin; ``depth_offset`` re-nests them
+        under this tracer's current open spans.  Returns the number of
+        records absorbed.
+        """
+        absorbed = 0
+        for record in records:
+            self.records.append(
+                dataclasses.replace(
+                    record,
+                    depth=record.depth + depth_offset,
+                    wall_start=record.wall_start + wall_offset,
+                    wall_end=record.wall_end + wall_offset,
+                )
+            )
+            absorbed += 1
+        return absorbed
 
     def __len__(self) -> int:
         return len(self.records)

@@ -33,6 +33,11 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, (np.floating,)):
         return float(value)
     if isinstance(value, np.ndarray):
+        # Fast path: bool/int/float arrays convert straight to native
+        # Python scalars — re-walking every element through to_jsonable
+        # would pay a Python call per element on large trace exports.
+        if value.dtype.kind in "biuf":
+            return value.tolist()
         return [to_jsonable(v) for v in value.tolist()]
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {

@@ -1,0 +1,210 @@
+"""Tests for the parallel sweep engine."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.exec import SweepError, SweepSpec, fork_available, run_sweep
+from repro.exec.sweep import merge_worker_telemetry
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+# Point functions must be module-level so worker processes can unpickle
+# them by reference.
+
+def echo(x, scale=1):
+    return x * scale
+
+
+def slow_echo(x, scale=1):
+    # Earlier grid points sleep longer, so completion order inverts
+    # submission order — the engine must still return grid order.
+    time.sleep(0.05 * (3 - x) if x < 3 else 0.0)
+    return x * scale
+
+
+def boom(x, scale=1):
+    if x == 2:
+        raise RuntimeError("point exploded")
+    return x
+
+
+def traced(x, scale=1):
+    tele = obs.get()
+    with tele.span("traced.point", cat="test", x=x):
+        tele.counter("test_points_total").inc()
+        tele.gauge("test_last_point").set(x)
+        tele.histogram("test_point_values", (1.0, 2.0, 4.0)).observe(x)
+    return x
+
+
+class TestSweepSpec:
+    def test_grid_last_axis_fastest(self):
+        spec = SweepSpec.grid("g", echo, axes={"a": [0, 1], "b": ["x", "y"]})
+        assert spec.points == (
+            {"a": 0, "b": "x"},
+            {"a": 0, "b": "y"},
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+        )
+
+    def test_from_points_preserves_order_and_copies(self):
+        raw = [{"x": 2}, {"x": 0}]
+        spec = SweepSpec.from_points("p", echo, raw, common={"scale": 10})
+        raw[0]["x"] = 99  # caller's dict must not alias the spec's
+        assert spec.points == ({"x": 2}, {"x": 0})
+        assert spec.kwargs(0) == {"scale": 10, "x": 2}
+
+    def test_point_overrides_common(self):
+        spec = SweepSpec.from_points(
+            "p", echo, [{"x": 1, "scale": 5}], common={"scale": 2}
+        )
+        assert spec.kwargs(0) == {"x": 1, "scale": 5}
+
+    def test_len(self):
+        assert len(SweepSpec.grid("g", echo, axes={"x": range(7)})) == 7
+
+
+class TestRunSweepSerial:
+    def test_grid_order(self):
+        spec = SweepSpec.grid("g", echo, axes={"x": [3, 1, 2]}, common={"scale": 2})
+        assert run_sweep(spec) == [6, 2, 4]
+
+    def test_empty(self):
+        assert run_sweep(SweepSpec.from_points("e", echo, [])) == []
+
+    def test_bad_jobs(self):
+        spec = SweepSpec.grid("g", echo, axes={"x": [1]})
+        with pytest.raises(ValueError):
+            run_sweep(spec, jobs=0)
+
+    def test_failure_names_the_point(self):
+        spec = SweepSpec.grid("g", boom, axes={"x": [0, 1, 2, 3]})
+        with pytest.raises(SweepError) as err:
+            run_sweep(spec)
+        assert "point 2" in str(err.value)
+        assert "'x': 2" in str(err.value)
+
+
+@needs_fork
+class TestRunSweepParallel:
+    def test_grid_order_despite_completion_order(self):
+        spec = SweepSpec.grid("g", slow_echo, axes={"x": list(range(6))})
+        assert run_sweep(spec, jobs=3) == list(range(6))
+
+    def test_matches_serial(self):
+        spec = SweepSpec.grid(
+            "g", echo, axes={"x": list(range(10))}, common={"scale": 7}
+        )
+        assert run_sweep(spec, jobs=4) == run_sweep(spec, jobs=1)
+
+    def test_worker_failure_names_the_point(self):
+        spec = SweepSpec.grid("g", boom, axes={"x": [0, 1, 2, 3]})
+        with pytest.raises(SweepError) as err:
+            run_sweep(spec, jobs=2)
+        assert "point 2" in str(err.value)
+        assert "point exploded" in str(err.value)
+
+    def test_jobs_capped_at_point_count(self):
+        spec = SweepSpec.grid("g", echo, axes={"x": [5]})
+        assert run_sweep(spec, jobs=64) == [5]
+
+
+class TestTelemetryMerge:
+    def _run(self, jobs):
+        spec = SweepSpec.grid("tele", traced, axes={"x": [1, 2, 3, 4]})
+        with obs.session() as tele:
+            values = run_sweep(spec, jobs=jobs)
+            snapshot = tele.metrics.snapshot()
+            spans = list(tele.tracer)
+        return values, snapshot, spans
+
+    def test_serial_baseline(self):
+        values, snapshot, spans = self._run(jobs=1)
+        assert values == [1, 2, 3, 4]
+        assert snapshot.counters["test_points_total"] == 4.0
+
+    @needs_fork
+    def test_parallel_counters_and_spans_match_serial(self):
+        _, serial_snap, serial_spans = self._run(jobs=1)
+        values, par_snap, par_spans = self._run(jobs=2)
+        assert values == [1, 2, 3, 4]
+        assert par_snap.counters == serial_snap.counters
+        # Gauges merge in grid order: last point's value wins, as serially.
+        assert par_snap.gauges == serial_snap.gauges
+        assert par_snap.histograms == serial_snap.histograms
+        assert sorted(s.name for s in par_spans) == sorted(
+            s.name for s in serial_spans
+        )
+
+    @needs_fork
+    def test_worker_spans_carry_annotations(self):
+        _, _, spans = self._run(jobs=2)
+        sweep_spans = [s for s in spans if s.name == "sweep:tele"]
+        assert sorted(s.args["x"] for s in sweep_spans) == [1, 2, 3, 4]
+        inner = [s for s in spans if s.name == "traced.point"]
+        assert len(inner) == 4
+        # Inner spans sit one level below their sweep span after rebasing.
+        assert {s.depth for s in inner} == {d.depth + 1 for d in sweep_spans}
+
+    def test_disabled_telemetry_stays_disabled(self):
+        spec = SweepSpec.grid("tele", traced, axes={"x": [1, 2]})
+        assert run_sweep(spec, jobs=1) == [1, 2]
+        assert obs.get().enabled is False
+
+
+class TestMergeHelpers:
+    def test_histogram_merge_adds_buckets(self):
+        parent = obs.MetricsRegistry()
+        parent.histogram("h", (1.0, 2.0)).observe(0.5)
+        worker = obs.MetricsRegistry()
+        worker.histogram("h", (1.0, 2.0)).observe(1.5)
+        worker.counter("c").inc(3)
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.snapshot()
+        assert merged.counters["c"] == 3.0
+        hist = merged.histograms[0]
+        assert hist.count == 2
+        assert hist.buckets == ((1.0, 1), (2.0, 2))
+
+    def test_histogram_merge_rejects_mismatched_bounds(self):
+        parent = obs.MetricsRegistry()
+        parent.histogram("h", (1.0, 2.0))
+        worker = obs.MetricsRegistry()
+        worker.histogram("h", (5.0,)).observe(1.0)
+        with pytest.raises(Exception):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_span_absorb_rebases(self):
+        parent = obs.SpanTracer()
+        foreign = obs.SpanTracer()
+        with foreign.span("work"):
+            pass
+        record = foreign.records[0]
+        parent.absorb(foreign.records, wall_offset=10.0, depth_offset=2)
+        absorbed = parent.records[0]
+        assert absorbed.depth == record.depth + 2
+        assert absorbed.wall_start == pytest.approx(record.wall_start + 10.0)
+        assert absorbed.wall_end == pytest.approx(record.wall_end + 10.0)
+        # The foreign tracer's own record is untouched.
+        assert foreign.records[0].depth == record.depth
+
+    def test_merge_worker_telemetry_roundtrip(self):
+        from repro.exec.sweep import _WorkerTelemetry
+
+        worker_tele = obs.Telemetry()
+        with worker_tele.tracer.span("w"):
+            worker_tele.counter("n").inc()
+        payload = _WorkerTelemetry(
+            records=list(worker_tele.tracer.records),
+            origin_abs=worker_tele.tracer.origin_abs,
+            metrics=worker_tele.metrics.snapshot(),
+        )
+        parent = obs.Telemetry()
+        merge_worker_telemetry(parent, payload)
+        assert [s.name for s in parent.tracer] == ["w"]
+        assert parent.metrics.snapshot().counters["n"] == 1.0

@@ -1,7 +1,10 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
+from repro.exec import fork_available
 from repro.experiments.cli import main
 
 
@@ -21,3 +24,24 @@ class TestCLI:
     def test_unknown_name_errors(self, capsys):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_bad_jobs_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--jobs", "0"])
+
+    def test_bench_writes_perf_trajectory(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_experiments.json"
+        assert main(["table1", "--quick", "--bench", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["experiments"]) == {"table1"}
+        assert payload["experiments"]["table1"] >= 0.0
+        assert payload["meta"]["jobs"] == 1
+        assert payload["meta"]["quick"] is True
+        assert payload["meta"]["total_seconds"] >= payload["experiments"]["table1"]
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_jobs_flag_runs_sweep_experiments(self, capsys):
+        assert main(["fig2", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "completed in" in out

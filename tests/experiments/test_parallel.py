@@ -1,0 +1,75 @@
+"""Parallel-vs-serial equality for the sweep-based experiments.
+
+The acceptance bar for the sweep engine is behavioural: fanning a grid
+across worker processes must change wall-clock only — every number in
+``ExperimentResult.data`` and every rendered table must be identical
+to the serial run.
+"""
+
+import pytest
+
+from repro import obs
+from repro.exec import fork_available
+from repro.experiments import fig2, fig4, fig6, fig7
+from repro.experiments.registry import run_experiment, supports_jobs
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+@needs_fork
+class TestParallelEqualsSerial:
+    def test_fig2_data_identical(self):
+        serial = fig2.run(quick=True, jobs=1)
+        parallel = fig2.run(quick=True, jobs=2)
+        assert parallel.data == serial.data
+        assert parallel.render() == serial.render()
+
+    def test_fig4_data_identical(self):
+        serial = fig4.run(quick=True, jobs=1)
+        parallel = fig4.run(quick=True, jobs=2)
+        assert parallel.data == serial.data
+        assert parallel.render() == serial.render()
+
+    def test_fig7_data_identical(self):
+        serial = fig7.run(quick=True, jobs=1)
+        parallel = fig7.run(quick=True, jobs=2)
+        assert parallel.data == serial.data
+        assert parallel.render() == serial.render()
+
+    def test_fig2_telemetry_captured_across_workers(self):
+        with obs.session() as tele:
+            fig2.run(quick=True, jobs=2)
+            parallel_spans = len(tele.tracer)
+            parallel_counters = tele.metrics.snapshot().counters
+        with obs.session() as tele:
+            fig2.run(quick=True, jobs=1)
+            serial_spans = len(tele.tracer)
+            serial_counters = tele.metrics.snapshot().counters
+        assert parallel_spans == serial_spans
+        assert parallel_counters == serial_counters
+
+
+class TestJobsPlumbing:
+    def test_sweep_experiments_accept_jobs(self):
+        for name in ("fig2", "fig4", "fig6", "fig7", "ablation"):
+            assert supports_jobs(name), name
+
+    def test_non_sweep_experiment_ignores_jobs(self):
+        # table1 has no grid; jobs must be silently dropped, not crash.
+        assert not supports_jobs("table1")
+        result = run_experiment("table1", quick=True, jobs=4)
+        assert result.name == "table1"
+
+    def test_fig6_single_point_grid(self):
+        spec = fig6.sweep_spec(quick=True)
+        assert len(spec) == 1
+        assert spec.points[0]["network"] == "densenet264"
+
+    def test_fig2_grid_order_matches_rendering(self):
+        spec = fig2.sweep_spec(quick=True)
+        # 2 sides x 5 pattern/granularity configs x 4 quick thread counts.
+        assert len(spec) == 40
+        assert spec.points[0]["side"] == "read"
+        assert spec.points[-1]["side"] == "write"

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.kernels.patterns import access_blocks
+from repro.kernels.patterns import (
+    access_blocks,
+    pattern_cache_clear,
+    pattern_cache_info,
+)
 from repro.memsys.counters import Pattern
 
 
@@ -40,6 +44,64 @@ class TestRandom:
     def test_rejects_indivisible_buffer(self):
         with pytest.raises(ValueError):
             access_blocks(63, Pattern.RANDOM, granularity=256)
+
+
+class TestMemoization:
+    def test_repeated_calls_share_one_entry(self):
+        pattern_cache_clear()
+        first = access_blocks(4096, Pattern.RANDOM, granularity=256)
+        before = pattern_cache_info()
+        second = access_blocks(4096, Pattern.RANDOM, granularity=256)
+        after = pattern_cache_info()
+        assert second is first  # the cache hands back the same array
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_entries_are_read_only(self):
+        order = access_blocks(1024, Pattern.RANDOM)
+        assert order.flags.writeable is False
+        with pytest.raises(ValueError):
+            order[0] = 7
+
+    def test_sequential_granularity_shares_entry(self):
+        # Sequential iteration is granularity-indifferent; the cache key
+        # is normalized so every granularity hits the same entry.
+        a = access_blocks(512, Pattern.SEQUENTIAL, granularity=64)
+        b = access_blocks(512, Pattern.SEQUENTIAL, granularity=512)
+        assert b is a
+
+    def test_lfsr_sequence_memoized_read_only(self):
+        from repro.kernels.lfsr import lfsr_sequence
+
+        first = lfsr_sequence(1000)
+        assert lfsr_sequence(1000) is first
+        assert first.flags.writeable is False
+
+    def test_run_kernel_never_mutates_the_cache_entry(self):
+        # Regression: run_kernel consumes the shared read-only order
+        # (copying only for a non-zero start_line); the cache entry must
+        # survive a full kernel run bit-for-bit.
+        from repro.experiments.platform import cnn_platform
+        from repro.kernels import Kernel, KernelSpec, run_kernel
+        from repro.memsys import AddressMap, FlatBackend
+
+        pattern_cache_clear()
+        platform = cnn_platform()
+        num_lines = (1 * 1024 * 1024) // platform.line_size
+        cached = access_blocks(num_lines, Pattern.RANDOM, granularity=256)
+        pristine = cached.copy()
+
+        backend = FlatBackend(platform, AddressMap.nvram_only(num_lines * 4))
+        spec = KernelSpec(
+            Kernel.READ_ONLY, pattern=Pattern.RANDOM, granularity=256, threads=4
+        )
+        run_kernel(backend, spec, num_lines)
+        run_kernel(backend, spec, num_lines, start_line=num_lines)
+
+        again = access_blocks(num_lines, Pattern.RANDOM, granularity=256)
+        assert again is cached
+        assert cached.flags.writeable is False
+        assert np.array_equal(cached, pristine)
 
 
 class TestValidation:

@@ -42,6 +42,38 @@ class TestToJsonable:
         result = run_experiment("table1", quick=True)
         json.dumps(to_jsonable(result.data))
 
+    def test_numeric_array_fast_path(self):
+        # bool/int/uint/float arrays convert via one tolist() call; the
+        # result must be plain Python scalars, JSON-ready.
+        for array in (
+            np.arange(5, dtype=np.int64),
+            np.linspace(0.0, 1.0, 4, dtype=np.float32),
+            np.array([True, False]),
+            np.arange(3, dtype=np.uint16),
+        ):
+            converted = to_jsonable(array)
+            assert converted == array.tolist()
+            json.dumps(converted)
+
+    def test_numeric_fast_path_handles_2d(self):
+        array = np.arange(6, dtype=np.int32).reshape(2, 3)
+        assert to_jsonable(array) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_object_arrays_still_recurse(self):
+        from repro.memsys.counters import Pattern
+
+        array = np.array([Pattern.RANDOM, Pattern.SEQUENTIAL], dtype=object)
+        assert to_jsonable(array) == ["random", "sequential"]
+
+    def test_fast_path_is_not_slower_per_element(self):
+        # 100k-element export stays well under a second via tolist().
+        import time
+
+        array = np.arange(100_000, dtype=np.float64)
+        start = time.perf_counter()
+        json.dumps(to_jsonable(array))
+        assert time.perf_counter() - start < 1.0
+
 
 class TestExportResult:
     def test_writes_valid_json(self, tmp_path):
