@@ -1,0 +1,46 @@
+"""The rule catalogue.
+
+Adding a checker: subclass :class:`repro.analysis.core.Checker`, set
+``rule`` and ``description``, implement ``check_module`` and/or
+``check_project``, and append the class to :data:`ALL_CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.core import Checker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.exceptions import ExceptionChecker
+from repro.analysis.checkers.registration import RegistrationChecker
+from repro.analysis.checkers.telemetry import TelemetryChecker
+from repro.analysis.checkers.units import UnitsChecker
+
+ALL_CHECKERS: List[Type[Checker]] = [
+    DeterminismChecker,
+    UnitsChecker,
+    TelemetryChecker,
+    ExceptionChecker,
+    RegistrationChecker,
+]
+
+
+def checker_for(rule: str) -> Type[Checker]:
+    """Look one checker class up by its rule id (e.g. ``"DET001"``)."""
+    for cls in ALL_CHECKERS:
+        if cls.rule == rule:
+            return cls
+    raise KeyError(
+        f"unknown rule {rule!r}; known: {', '.join(c.rule for c in ALL_CHECKERS)}"
+    )
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DeterminismChecker",
+    "ExceptionChecker",
+    "RegistrationChecker",
+    "TelemetryChecker",
+    "UnitsChecker",
+    "checker_for",
+]

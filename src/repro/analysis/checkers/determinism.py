@@ -1,0 +1,99 @@
+"""DET001 — nondeterminism in simulation code.
+
+Serial and parallel sweeps must produce byte-identical results, so
+model code may not read host wall-clocks or draw from process-global
+RNG state.  Seeded generators (``np.random.default_rng(seed)``,
+``random.Random(seed)``) are the approved constructs.
+
+CLI and bench modules (any module whose final component is ``cli`` or
+``bench``) are allowlisted: measuring host time is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project
+
+#: Fully-qualified callables that read wall-clocks or entropy sources.
+_BANNED_CALLS = {
+    "time.time": "reads the host wall-clock",
+    "time.time_ns": "reads the host wall-clock",
+    "time.monotonic": "reads a host clock",
+    "time.monotonic_ns": "reads a host clock",
+    "time.perf_counter": "reads a host clock",
+    "time.perf_counter_ns": "reads a host clock",
+    "datetime.datetime.now": "reads the host wall-clock",
+    "datetime.datetime.utcnow": "reads the host wall-clock",
+    "datetime.datetime.today": "reads the host wall-clock",
+    "datetime.date.today": "reads the host wall-clock",
+    "os.urandom": "draws from the OS entropy pool",
+    "uuid.uuid1": "derives from host clock and MAC",
+    "uuid.uuid4": "draws from the OS entropy pool",
+    "secrets.token_bytes": "draws from the OS entropy pool",
+    "secrets.token_hex": "draws from the OS entropy pool",
+    "random.SystemRandom": "draws from the OS entropy pool",
+}
+
+#: ``numpy.random`` attributes that construct explicitly seeded state.
+_SEEDED_NUMPY = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: ``random`` module attributes that construct explicitly seeded state.
+_SEEDED_STDLIB = {"Random"}
+
+#: Final module-name components whose job is host-time measurement.
+_ALLOWED_COMPONENTS = {"cli", "bench"}
+
+
+class DeterminismChecker(Checker):
+    rule = "DET001"
+    description = (
+        "no wall-clock reads or unseeded global RNG in simulation code "
+        "(CLI/bench modules allowlisted)"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        if module.module.rsplit(".", 1)[-1] in _ALLOWED_COMPONENTS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in _BANNED_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"nondeterministic call {resolved}() {_BANNED_CALLS[resolved]}; "
+                    "simulation code must be reproducible",
+                )
+            elif resolved.startswith("numpy.random."):
+                attr = resolved.split(".", 2)[2]
+                if "." not in attr and attr not in _SEEDED_NUMPY:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unseeded numpy global RNG {resolved}(); "
+                        "use np.random.default_rng(seed)",
+                    )
+            elif resolved.startswith("random."):
+                attr = resolved.split(".", 1)[1]
+                if "." not in attr and attr not in _SEEDED_STDLIB:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unseeded global RNG {resolved}(); "
+                        "use random.Random(seed)",
+                    )

@@ -1,0 +1,100 @@
+"""REG001 — experiment modules are registered and sweep-ready.
+
+Cross-module rule: every ``experiments/fig*.py`` or
+``experiments/ablation.py`` module must
+
+* appear in the ``EXPERIMENTS`` dict of the sibling ``registry.py``
+  (otherwise the CLI silently cannot run it), and
+* declare its grid as data with a top-level ``sweep_spec`` function
+  (otherwise ``--jobs`` cannot parallelize it and its points never
+  fan out).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project
+
+
+def _is_experiment_module(module: ModuleInfo) -> bool:
+    path = module.path
+    return path.parent.name == "experiments" and (
+        (path.name.startswith("fig") and path.name.endswith(".py"))
+        or path.name == "ablation.py"
+    )
+
+
+def _registered_modules(registry: ModuleInfo) -> Optional[Set[str]]:
+    """Module short names referenced as values of the EXPERIMENTS dict."""
+    for node in ast.walk(registry.tree):
+        targets = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.target is not None:
+            targets = (node.target,)
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "EXPERIMENTS"
+                and isinstance(node.value, ast.Dict)
+            ):
+                names: Set[str] = set()
+                for value in node.value.values:
+                    if isinstance(value, ast.Attribute) and isinstance(
+                        value.value, ast.Name
+                    ):
+                        names.add(value.value.id)
+                return names
+    return None
+
+
+def _declares_sweep_spec(module: ModuleInfo) -> bool:
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == "sweep_spec"
+        for node in module.tree.body
+    )
+
+
+class RegistrationChecker(Checker):
+    rule = "REG001"
+    description = (
+        "every experiments/fig*.py and ablation.py is registered in the "
+        "CLI registry and declares a sweep_spec"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        candidates = list(project.find(_is_experiment_module))
+        if not candidates:
+            return
+        registries = {
+            module.path.parent: module
+            for module in project.find(lambda m: m.path.name == "registry.py")
+        }
+        for module in candidates:
+            registry = registries.get(module.path.parent)
+            short = module.path.stem
+            if registry is None:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    "experiment module has no sibling registry.py in the scan; "
+                    "include the experiments package when linting",
+                )
+            else:
+                registered = _registered_modules(registry)
+                if registered is None or short not in registered:
+                    yield self.finding(
+                        module,
+                        module.tree,
+                        f"module {short!r} is not registered in the EXPERIMENTS "
+                        f"dict of {registry.rel_path}",
+                    )
+            if not _declares_sweep_spec(module):
+                yield self.finding(
+                    module,
+                    module.tree,
+                    "experiment module declares no top-level sweep_spec(); "
+                    "declare its grid as a SweepSpec so --jobs can fan it out",
+                )

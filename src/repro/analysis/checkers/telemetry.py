@@ -1,0 +1,106 @@
+"""TEL001 — telemetry hygiene.
+
+The null-handle pattern from the observability layer only stays
+zero-overhead if instrumented code (a) fetches the handle inside the
+function that uses it — a module-scope ``obs.get()`` would freeze
+whichever handle was installed at import time — and (b) opens spans
+through a context manager, so the span is closed on every exit path
+and worker telemetry merges cleanly.
+
+Accepted span forms::
+
+    with tele.span("epoch", cat="memsys") as span: ...
+    span = stack.enter_context(tele.span(...)) if tele.enabled else None
+
+The :mod:`repro.obs` implementation package itself is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project
+
+#: Factory calls that must not run at module import time.
+_HANDLE_FACTORIES = {"repro.obs.get", "repro.obs.enable", "obs.get", "obs.enable"}
+
+#: Instrument-creating attribute calls that must not run at module scope.
+_INSTRUMENT_ATTRS = {"counter", "gauge", "histogram", "span"}
+
+
+def _module_scope_statements(tree: ast.Module):
+    """Every statement outside function bodies (class bodies included)."""
+    pending = list(tree.body)
+    while pending:
+        node = pending.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # deferred execution: not import-time work
+        yield node
+        pending.extend(ast.iter_child_nodes(node))
+
+
+class TelemetryChecker(Checker):
+    rule = "TEL001"
+    description = (
+        "telemetry handles fetched at module scope, or spans opened "
+        "without a context manager"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        if module.module == "repro.obs" or module.module.startswith("repro.obs."):
+            return
+        yield from self._module_scope_handles(module)
+        yield from self._spans_without_with(module)
+
+    def _module_scope_handles(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in _module_scope_statements(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve(node.func)
+            if resolved in _HANDLE_FACTORIES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{resolved}() at module scope freezes the telemetry handle "
+                    "installed at import time; fetch it inside the function",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _INSTRUMENT_ATTRS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{node.func.attr}(...) at module scope creates a telemetry "
+                    "instrument at import time; create it where it is recorded",
+                )
+
+    def _spans_without_with(self, module: ModuleInfo) -> Iterable[Finding]:
+        allowed: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.IfExp):  # span(...) if enabled else null
+                        allowed.update((id(expr.body), id(expr.orelse)))
+                    allowed.add(id(expr))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "enter_context"
+            ):
+                allowed.update(id(arg) for arg in node.args)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in allowed
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "span opened without a context manager; use 'with "
+                    "tele.span(...)' or stack.enter_context(tele.span(...))",
+                )

@@ -1,0 +1,121 @@
+"""UNIT001 — units discipline for capacities and bandwidths.
+
+The paper's numbers mix binary device capacities (GiB) with decimal
+bandwidths (GB/s); a silent ``1024**3`` vs ``1e9`` confusion shifts
+every calibrated figure by 7%.  All scale factors therefore live in
+:mod:`repro.units` (``KiB``/``MiB``/``GiB``, ``KB``/``MB``/``GB``,
+``gb_per_s``/``to_gb_per_s``) — this checker flags the raw spellings
+everywhere else:
+
+* power literals: ``1024 ** n``, ``1000 ** n``, ``2 ** 20/30/40``,
+  ``10 ** 6/9/12``;
+* shift literals: ``1 << 20/30/40``;
+* multiplication chains with two or more ``1024`` or ``1000`` factors;
+* magic constants equal to a named unit (``1e9``, ``1048576`` …).
+
+Modules named ``units`` are the one place raw literals belong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project
+from repro.units import GB, GiB, MiB, TB, TiB
+
+#: Values that have a name in :mod:`repro.units`; float() so both int
+#: and float literals (1048576 and 1048576.0) compare equal.
+_MAGIC = {
+    float(MiB): "units.MiB",
+    float(GiB): "units.GiB",
+    float(TiB): "units.TiB",
+    float(GB): "units.GB (or units.gb_per_s for bandwidth)",
+    float(TB): "units.TB",
+}
+
+_POW_BASES = {1024: "units.KiB/MiB/GiB", 1000: "units.KB/MB/GB"}
+_POW_EXPONENTS = {2: (20, 30, 40), 10: (6, 9, 12)}
+_SHIFT_BITS = (20, 30, 40)
+
+
+def _literal(node: ast.AST) -> object:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return node.value
+    return None
+
+
+def _flatten_product(node: ast.AST, factors: List[ast.AST], chain: Set[int]) -> None:
+    """Collect the leaves of a multiplication chain into ``factors``."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        chain.add(id(node))
+        _flatten_product(node.left, factors, chain)
+        _flatten_product(node.right, factors, chain)
+    else:
+        factors.append(node)
+
+
+class UnitsChecker(Checker):
+    rule = "UNIT001"
+    description = (
+        "no raw byte-capacity or bandwidth literals outside units.py; "
+        "use units.GiB, units.GB, units.gb_per_s"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        if module.module.rsplit(".", 1)[-1] == "units":
+            return
+        seen_chains: Set[int] = set()
+        powers: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+                base, exponent = _literal(node.left), _literal(node.right)
+                powers.add(id(node.left))
+                powers.add(id(node.right))
+                if base in _POW_BASES and isinstance(exponent, int) and exponent >= 2:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"raw capacity literal {base} ** {exponent}; "
+                        f"use {_POW_BASES[base]}",
+                    )
+                elif base in _POW_EXPONENTS and exponent in _POW_EXPONENTS[base]:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"raw scale literal {base} ** {exponent}; "
+                        "name it via repro.units",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+                if _literal(node.left) == 1 and _literal(node.right) in _SHIFT_BITS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"raw capacity literal 1 << {_literal(node.right)}; "
+                        "name it via repro.units",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+                if id(node) in seen_chains:
+                    continue
+                factors: List[ast.AST] = []
+                _flatten_product(node, factors, seen_chains)
+                literals = [_literal(factor) for factor in factors]
+                for base, replacement in _POW_BASES.items():
+                    if literals.count(base) >= 2:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"multiplication chain of {base}s spells a raw "
+                            f"capacity; use {replacement}",
+                        )
+        for node in ast.walk(module.tree):
+            value = _literal(node)
+            if value is None or id(node) in powers:
+                continue
+            name = _MAGIC.get(float(value))
+            if name is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"magic scale constant {value!r}; use {name}",
+                )

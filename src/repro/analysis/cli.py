@@ -1,0 +1,119 @@
+"""``python -m repro.analysis`` — the repro-lint command line.
+
+Usage::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --baseline lint-baseline.json
+    python -m repro.analysis --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 usage or analysis error.  The
+baseline file (written with ``--write-baseline``) holds known findings
+to ignore, matched by (path, rule, message) so line drift does not
+resurrect them; the CI gate runs with no baseline at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.core import AnalysisError, AnalysisReport, run_analysis
+from repro.analysis.reporters import render_json, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _load_baseline(path: Path) -> List[str]:
+    payload = json.loads(path.read_text())
+    findings = payload.get("findings", []) if isinstance(payload, dict) else payload
+    return [
+        f"{entry['path']}::{entry['rule']}::{entry['message']}" for entry in findings
+    ]
+
+
+def _apply_baseline(report: AnalysisReport, keys: List[str]) -> AnalysisReport:
+    budget = list(keys)
+    kept = []
+    for finding in report.findings:
+        if finding.baseline_key in budget:
+            budget.remove(finding.baseline_key)  # one entry absolves one finding
+        else:
+            kept.append(finding)
+    return AnalysisReport(
+        findings=kept, suppressed=report.suppressed, files=report.files
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: determinism, units, and telemetry hygiene",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json output is byte-stable across runs)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="ignore the findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_CHECKERS:
+            print(f"{cls.rule}  {cls.description}")
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis src/repro)")
+
+    try:
+        report = run_analysis([Path(path) for path in args.paths])
+    except AnalysisError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(render_json(report))
+        print(
+            f"[baseline: {len(report.findings)} finding(s) -> {args.write_baseline}]"
+        )
+        return EXIT_CLEAN
+
+    if args.baseline:
+        try:
+            report = _apply_baseline(report, _load_baseline(Path(args.baseline)))
+        except (OSError, ValueError, KeyError) as error:
+            print(
+                f"repro-lint: error: bad baseline {args.baseline}: {error!r}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+
+    output = render_json(report) if args.format == "json" else render_text(report)
+    sys.stdout.write(output)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Text and JSON reporters.
+
+Both orderings are fully deterministic — findings sort by
+``(path, line, col, rule, message)`` and the JSON reporter emits sorted
+keys with no timestamps or absolute paths — so two consecutive runs
+over the same tree are byte-identical and CI can diff reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import AnalysisReport, Finding
+
+
+def render_text(report: AnalysisReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.files} file(s) checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def _as_dict(finding: Finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "version": 1,
+        "findings": [_as_dict(finding) for finding in report.findings],
+        "suppressed": [_as_dict(finding) for finding in report.suppressed],
+        "summary": {
+            "files": report.files,
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -14,6 +14,7 @@ bytes rather than the cache's amplified write-backs.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -22,7 +23,7 @@ import numpy as np
 from repro import obs
 from repro.autotm.model import PlacementMode, PlacementPlan
 from repro.config import PlatformConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantError
 from repro.memsys.backends import FlatBackend
 from repro.memsys.counters import (
     AccessContext,
@@ -107,7 +108,10 @@ class _Addresser:
                 offset = nvram.allocate(tensor.size_bytes, life.start, life.end)
                 self._slots[tensor] = (offset, offset, False, False, None)
             else:
-                assert placement is not None
+                if placement is None:
+                    raise InvariantError(
+                        f"tensor {tensor.name!r} has stash mode but no placement"
+                    )
                 stash_after = placement.stash_after
                 restore_before = placement.restore_before
                 hot = dram.allocate(tensor.size_bytes, life.start, stash_after)
@@ -186,30 +190,31 @@ def execute_autotm(
 
     def move(src: np.ndarray, dst: np.ndarray, op: Op, label: str) -> None:
         tele = obs.get()
-        span = (
-            tele.span(
-                "autotm.move",
-                cat="autotm",
-                clock=lambda: backend.counters.time,
-                label=label,
-                anchor_op=op.name,
-            )
-            if tele.enabled
-            else None
-        )
-        if span is not None:
-            span.__enter__()
         start = backend.counters.time
-        with backend.epoch(move_ctx) as epoch:
-            stream(src, AccessKind.LLC_READ, move_ctx)
-            # Nontemporal stores: no ownership read, straight write.
-            stream(dst, AccessKind.LLC_WRITE, move_ctx)
-        backend.counters.retire(
-            int(epoch.traffic.demand_bytes * cpu.instructions_per_byte)
-        )
-        if span is not None:
-            span.set(moved_bytes=epoch.traffic.demand_bytes)
-            span.__exit__(None, None, None)
+        with contextlib.ExitStack() as stack:
+            span = (
+                stack.enter_context(
+                    tele.span(
+                        "autotm.move",
+                        cat="autotm",
+                        clock=lambda: backend.counters.time,
+                        label=label,
+                        anchor_op=op.name,
+                    )
+                )
+                if tele.enabled
+                else None
+            )
+            with backend.epoch(move_ctx) as epoch:
+                stream(src, AccessKind.LLC_READ, move_ctx)
+                # Nontemporal stores: no ownership read, straight write.
+                stream(dst, AccessKind.LLC_WRITE, move_ctx)
+            backend.counters.retire(
+                int(epoch.traffic.demand_bytes * cpu.instructions_per_byte)
+            )
+            if span is not None:
+                span.set(moved_bytes=epoch.traffic.demand_bytes)
+        if tele.enabled:
             tele.counter(
                 "repro_autotm_moved_bytes_total", "bytes moved by AutoTM stash/restore"
             ).inc(epoch.traffic.demand_bytes)
@@ -237,35 +242,33 @@ def execute_autotm(
             )
 
         tele = obs.get()
-        kernel_span = (
-            tele.span(
-                "autotm.kernel",
-                cat="autotm",
-                clock=lambda: backend.counters.time,
-                op=op.name,
-                kind=op.kind.value,
-                stashes=len(stash_at.get(index, ())),
-                restores=len(restore_at.get(index, ())),
-            )
-            if tele.enabled
-            else None
-        )
-        if kernel_span is not None:
-            kernel_span.__enter__()
         start = backend.counters.time
-        with backend.epoch(ctx) as epoch:
-            if op.kind is not OpKind.PARAMETER:
-                for tensor in op.inputs:
-                    stream(addresser.lines(tensor, index), AccessKind.LLC_READ, ctx)
-                if op.kind is OpKind.SGD_UPDATE:
-                    stream(addresser.lines(op.inputs[0], index), AccessKind.LLC_WRITE, ctx)
-                for tensor in op.outputs:
-                    lines = addresser.lines(tensor, index)
-                    stream(lines, AccessKind.LLC_READ, ctx)  # RFO
-                    stream(lines, AccessKind.LLC_WRITE, ctx)
-            epoch.add_compute(compute_time(op, cpu.peak_flops))
-        if kernel_span is not None:
-            kernel_span.__exit__(None, None, None)
+        with contextlib.ExitStack() as stack:
+            if tele.enabled:
+                stack.enter_context(
+                    tele.span(
+                        "autotm.kernel",
+                        cat="autotm",
+                        clock=lambda: backend.counters.time,
+                        op=op.name,
+                        kind=op.kind.value,
+                        stashes=len(stash_at.get(index, ())),
+                        restores=len(restore_at.get(index, ())),
+                    )
+                )
+            with backend.epoch(ctx) as epoch:
+                if op.kind is not OpKind.PARAMETER:
+                    for tensor in op.inputs:
+                        stream(addresser.lines(tensor, index), AccessKind.LLC_READ, ctx)
+                    if op.kind is OpKind.SGD_UPDATE:
+                        stream(
+                            addresser.lines(op.inputs[0], index), AccessKind.LLC_WRITE, ctx
+                        )
+                    for tensor in op.outputs:
+                        lines = addresser.lines(tensor, index)
+                        stream(lines, AccessKind.LLC_READ, ctx)  # RFO
+                        stream(lines, AccessKind.LLC_WRITE, ctx)
+                epoch.add_compute(compute_time(op, cpu.peak_flops))
         backend.counters.retire(
             int(op.flops * cpu.instructions_per_flop)
             + int(epoch.traffic.demand_bytes * cpu.instructions_per_byte)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import PlatformConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantError
 from repro.nn.autodiff import TrainingGraph
 from repro.nn.ir import Tensor
 from repro.nn.liveness import TensorLife, analyze_liveness
@@ -206,8 +206,11 @@ class PlacementProblem:
             raise ConfigurationError(
                 f"tensor {candidate.tensor.name!r} is not stash-eligible"
             )
-        assert candidate.last_forward_use is not None
-        assert candidate.first_backward_use is not None
+        if candidate.last_forward_use is None or candidate.first_backward_use is None:
+            raise InvariantError(
+                f"stash-eligible tensor {candidate.tensor.name!r} lacks a "
+                "forward/backward use boundary"
+            )
         return (
             op_index <= candidate.last_forward_use
             or op_index >= candidate.first_backward_use

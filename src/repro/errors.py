@@ -15,5 +15,15 @@ class SimulationError(ReproError):
     """The simulation reached an invalid state."""
 
 
+class InvariantError(SimulationError):
+    """An internal invariant the simulator relies on was violated.
+
+    Raised instead of ``assert`` in library code: assertions vanish
+    under ``python -O``, and these checks guard reproduction fidelity
+    (grid ordering, placement consistency), so they must survive
+    every interpreter mode.
+    """
+
+
 class SolverError(ReproError):
     """The AutoTM placement solver failed to produce a feasible plan."""

@@ -199,7 +199,9 @@ def run_sweep(spec: SweepSpec, jobs: int = 1) -> List[Any]:
                 submitted = futures[future]
                 try:
                     index, value, payload = future.result()
-                except Exception as error:
+                # Worker barrier: any point failure, whatever its type,
+                # must surface as a SweepError naming the point.
+                except Exception as error:  # repro-lint: disable=EXC001
                     raise SweepError(
                         f"sweep {spec.name!r} point {submitted} "
                         f"({spec.points[submitted]}) failed: {error!r}"
@@ -221,7 +223,9 @@ def _run_serial_point(spec: SweepSpec, index: int) -> Any:
         return _call_point(spec, index)
     except SweepError:
         raise
-    except Exception as error:
+    # Serial worker barrier: mirror the pool path so jobs=1 fails the
+    # same way, with the failing point named.
+    except Exception as error:  # repro-lint: disable=EXC001
         raise SweepError(
             f"sweep {spec.name!r} point {index} "
             f"({spec.points[index]}) failed: {error!r}"

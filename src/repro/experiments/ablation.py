@@ -32,6 +32,7 @@ from repro.experiments.platform import cnn_platform_for, training_setup
 from repro.memsys import CachedBackend
 from repro.nn import execute_iteration
 from repro.perf.report import render_table
+from repro.units import CACHE_LINE, GB
 
 #: Variant name -> (cache factory, sample stride).  Stride sampling is
 #: exact for designs whose behaviour depends only on set mapping, but a
@@ -72,8 +73,8 @@ def run_variant(variant: str, quick: bool) -> Dict[str, float]:
         "seconds": execution.seconds,
         "amplification": traffic.amplification,
         "hit_rate": tags.hit_rate,
-        "nvram_read_gb": traffic.nvram_reads * 64 * scale / 1e9,
-        "nvram_write_gb": traffic.nvram_writes * 64 * scale / 1e9,
+        "nvram_read_gb": traffic.nvram_reads * CACHE_LINE * scale / GB,
+        "nvram_write_gb": traffic.nvram_writes * CACHE_LINE * scale / GB,
         "ddo_writes": tags.ddo_writes,
     }
 

@@ -140,7 +140,9 @@ def run(quick: bool = True) -> ExperimentResult:
             cache[claim.experiment] = run_experiment(claim.experiment, quick=quick).data
         try:
             ok = bool(claim.predicate(cache[claim.experiment]))
-        except Exception as error:  # a broken claim is a failure, not a crash
+        # Claim boundary: a predicate crashing on malformed data is a
+        # FAIL verdict for that claim, never a crash of the checker.
+        except Exception as error:  # repro-lint: disable=EXC001
             ok = False
             rows.append([claim.experiment, claim.description, f"ERROR: {error}"])
             continue

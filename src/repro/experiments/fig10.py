@@ -4,22 +4,31 @@ The signature the paper highlights: AutoTM generates NVRAM *writes only
 during the forward pass* (stashing activations) and NVRAM *reads only
 during the backward pass* (prefetching them back) — no wasted dirty
 write-backs (Section VII-A1).
+
+The AutoTM solve and the instrumented iteration are one sequential
+chain, so the sweep grid is a single point that renders the whole
+figure in the worker.  Declaring it as a :class:`~repro.exec.SweepSpec`
+keeps the experiment uniform with the other figures under
+``repro-experiment all --jobs N``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.autotm_common import run_autotm
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import cnn_platform_for, training_setup
 from repro.perf.report import render_series
+from repro.units import to_gb_per_s
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    training, _ = training_setup("densenet264", quick)
+def autotm_trace_snapshot(network: str, quick: bool) -> ExperimentResult:
+    """The single grid point: one AutoTM iteration with a full trace."""
+    training, _ = training_setup(network, quick)
     scale = cnn_platform_for(quick).scale_factor
-    autotm = run_autotm("densenet264", quick)
+    autotm = run_autotm(network, quick)
     trace = autotm.trace
 
     # The trace has one point per kernel/move; split at the first
@@ -54,16 +63,19 @@ def run(quick: bool = False) -> ExperimentResult:
             [
                 "Figure 10 — bandwidth per kernel/move (GB/s, hardware-equivalent)",
                 render_series(
-                    trace.bandwidth_series("dram_reads") * scale / 1e9, "DRAM read"
+                    to_gb_per_s(trace.bandwidth_series("dram_reads") * scale),
+                    "DRAM read",
                 ),
                 render_series(
-                    trace.bandwidth_series("dram_writes") * scale / 1e9, "DRAM write"
+                    to_gb_per_s(trace.bandwidth_series("dram_writes") * scale),
+                    "DRAM write",
                 ),
                 render_series(
-                    trace.bandwidth_series("nvram_reads") * scale / 1e9, "NVRAM read"
+                    to_gb_per_s(trace.bandwidth_series("nvram_reads") * scale),
+                    "NVRAM read",
                 ),
                 render_series(
-                    trace.bandwidth_series("nvram_writes") * scale / 1e9,
+                    to_gb_per_s(trace.bandwidth_series("nvram_writes") * scale),
                     "NVRAM write",
                 ),
             ]
@@ -83,4 +95,18 @@ def run(quick: bool = False) -> ExperimentResult:
         "restore_bytes": autotm.restore_bytes,
         "traffic": autotm.traffic,
     }
+    return result
+
+
+def sweep_spec(quick: bool) -> SweepSpec:
+    return SweepSpec.from_points(
+        "fig10",
+        autotm_trace_snapshot,
+        [dict(network="densenet264")],
+        common=dict(quick=quick),
+    )
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    (result,) = run_sweep(sweep_spec(quick), jobs=jobs)
     return result

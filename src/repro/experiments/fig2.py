@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.errors import InvariantError
 from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import cnn_platform
@@ -86,9 +87,14 @@ def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
             cells = [f"{pattern.value} {granularity}B"]
             for n in threads:
                 point, gbps = next(cursor)
-                assert point == dict(
+                expected = dict(
                     side=side, pattern=pattern, granularity=granularity, threads=n
                 )
+                if point != expected:
+                    raise InvariantError(
+                        f"fig2 sweep returned out of grid order: got {point}, "
+                        f"expected {expected}"
+                    )
                 bandwidths[side][(pattern.value, granularity, n)] = gbps
                 cells.append(f"{gbps:.1f}")
             rows.append(cells)

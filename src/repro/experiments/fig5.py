@@ -3,6 +3,14 @@
 (a) retired-instruction rate, (b) DRAM-cache tag statistics, (c) DRAM
 and NVRAM bandwidth through time, (d) the ngraph heap's liveness map.
 One warm-up iteration prepares the cache state, as in the paper.
+
+The warm-up and the measured iteration share one backend — a
+sequential dependency — so the sweep grid is a single point that
+renders the whole figure in the worker.  Declaring it as a
+:class:`~repro.exec.SweepSpec` keeps the experiment uniform with the
+other figures: ``repro-experiment all --jobs N`` can place the
+iteration in a worker process and its telemetry merges back like any
+other sweep point's.
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache import DirectMappedCache
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import CNN_STRIDE, cnn_platform_for, training_setup
 from repro.memsys import CachedBackend
@@ -18,10 +27,11 @@ from repro.nn.liveness import live_bytes_series
 from repro.perf import CounterSampler
 from repro.perf.memmap import render_memory_map
 from repro.perf.report import render_series
-from repro.units import format_bytes
+from repro.units import format_bytes, to_gb_per_s
 
 
-def run(quick: bool = False, network: str = "densenet264") -> ExperimentResult:
+def iteration_snapshot(network: str, quick: bool) -> ExperimentResult:
+    """The single grid point: one instrumented 2LM training iteration."""
     platform = cnn_platform_for(quick)
     scale = platform.scale_factor
     training, plan = training_setup(network, quick)
@@ -43,10 +53,10 @@ def run(quick: bool = False, network: str = "densenet264") -> ExperimentResult:
     hits = trace.tag_rate_series("hits")
     dirty = trace.tag_rate_series("dirty_misses")
     clean = trace.tag_rate_series("clean_misses")
-    dram_read = trace.bandwidth_series("dram_reads") * scale / 1e9
-    dram_write = trace.bandwidth_series("dram_writes") * scale / 1e9
-    nvram_read = trace.bandwidth_series("nvram_reads") * scale / 1e9
-    nvram_write = trace.bandwidth_series("nvram_writes") * scale / 1e9
+    dram_read = to_gb_per_s(trace.bandwidth_series("dram_reads") * scale)
+    dram_write = to_gb_per_s(trace.bandwidth_series("dram_writes") * scale)
+    nvram_read = to_gb_per_s(trace.bandwidth_series("nvram_reads") * scale)
+    nvram_write = to_gb_per_s(trace.bandwidth_series("nvram_writes") * scale)
 
     live_series = np.array(live_bytes_series(plan.lives, len(plan.graph.ops)))
 
@@ -121,4 +131,18 @@ def run(quick: bool = False, network: str = "densenet264") -> ExperimentResult:
         "times": trace.times,
         "forward_fraction_of_ops": training.backward_start / len(plan.graph.ops),
     }
+    return result
+
+
+def sweep_spec(quick: bool, network: str = "densenet264") -> SweepSpec:
+    return SweepSpec.from_points(
+        "fig5",
+        iteration_snapshot,
+        [dict(network=network)],
+        common=dict(quick=quick),
+    )
+
+
+def run(quick: bool = False, network: str = "densenet264", jobs: int = 1) -> ExperimentResult:
+    (result,) = run_sweep(sweep_spec(quick, network), jobs=jobs)
     return result

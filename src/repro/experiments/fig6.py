@@ -26,6 +26,7 @@ from repro.memsys import CachedBackend
 from repro.nn import execute_iteration
 from repro.nn.ir import OpKind
 from repro.perf.report import render_table
+from repro.units import to_gb_per_s
 
 _FORWARD_KINDS = (
     OpKind.CONCAT,
@@ -64,7 +65,7 @@ def dense_block_snapshot(network: str, quick: bool) -> Dict[str, Dict[str, float
     data: Dict[str, Dict[str, float]] = {}
     for kind, agg in sorted(per_kind.items(), key=lambda kv: -kv[1]["seconds"]):
         bandwidth = (
-            agg["bytes"] / agg["seconds"] * scale / 1e9 if agg["seconds"] else 0.0
+            to_gb_per_s(agg["bytes"] / agg["seconds"] * scale) if agg["seconds"] else 0.0
         )
         data[kind.value] = {
             "seconds": agg["seconds"],

@@ -4,46 +4,67 @@ With page migration disabled, the NUMA configuration exposes each
 kernel's true demand traffic; comparing against 2LM totals shows the
 DRAM cache's access amplification on the cache-exceeding input
 (Section VI-C).
+
+Each graph kernel is one point of a :class:`~repro.exec.SweepSpec`
+(the kernel *name* is the parameter; the wdc input is rebuilt in the
+worker, keeping points picklable), so the kernels fan across worker
+processes under ``--jobs``.
 """
 
 from __future__ import annotations
 
+from typing import Dict
+
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.graphcommon import KERNELS, run_graph_kernel
 from repro.experiments.platform import wdc_graph
 from repro.perf.report import render_table
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run_kernel_pair(kernel: str, quick: bool) -> Dict[str, float]:
+    """One grid point: a kernel on the wdc input, NUMA then 2LM."""
     csr = wdc_graph(quick)
+    numa = run_graph_kernel(kernel, csr, mode="numa", quick=quick)
+    cached = run_graph_kernel(kernel, csr, mode="2lm", quick=quick)
+    amplification = (
+        cached.total_moved_gb / numa.total_moved_gb if numa.total_moved_gb else 0.0
+    )
+    return {
+        "numa_moved_gb": numa.total_moved_gb,
+        "2lm_moved_gb": cached.total_moved_gb,
+        "amplification": amplification,
+        "numa_seconds": numa.seconds,
+        "2lm_seconds": cached.seconds,
+    }
+
+
+def sweep_spec(quick: bool) -> SweepSpec:
+    return SweepSpec.grid(
+        "fig8",
+        run_kernel_pair,
+        axes={"kernel": list(KERNELS)},
+        common=dict(quick=quick),
+    )
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    data = dict(zip(KERNELS, run_sweep(sweep_spec(quick), jobs=jobs)))
+
     result = ExperimentResult(
         name="fig8", title="Total data moved on the cache-exceeding input"
     )
-    rows = []
-    data = {}
-    for kernel in KERNELS:
-        numa = run_graph_kernel(kernel, csr, mode="numa", quick=quick)
-        cached = run_graph_kernel(kernel, csr, mode="2lm", quick=quick)
-        amplification = (
-            cached.total_moved_gb / numa.total_moved_gb if numa.total_moved_gb else 0.0
-        )
-        rows.append(
-            [
-                kernel,
-                f"{numa.total_moved_gb:.0f}",
-                f"{cached.total_moved_gb:.0f}",
-                f"{amplification:.2f}x",
-                f"{numa.seconds:.2f}",
-                f"{cached.seconds:.2f}",
-            ]
-        )
-        data[kernel] = {
-            "numa_moved_gb": numa.total_moved_gb,
-            "2lm_moved_gb": cached.total_moved_gb,
-            "amplification": amplification,
-            "numa_seconds": numa.seconds,
-            "2lm_seconds": cached.seconds,
-        }
+    rows = [
+        [
+            kernel,
+            f"{v['numa_moved_gb']:.0f}",
+            f"{v['2lm_moved_gb']:.0f}",
+            f"{v['amplification']:.2f}x",
+            f"{v['numa_seconds']:.2f}",
+            f"{v['2lm_seconds']:.2f}",
+        ]
+        for kernel, v in data.items()
+    ]
 
     result.add(
         render_table(

@@ -3,54 +3,84 @@
 (a) bandwidth when the graph fits the DRAM cache — stable, DRAM-only;
 (b) bandwidth when it does not — lower, with excess DRAM reads and
 heavy NVRAM traffic; (c) the tag-event trace for the same run.
+
+The two inputs are independent, so each is one point of a
+:class:`~repro.exec.SweepSpec` (the input *label* is the parameter;
+the CSR is rebuilt in the worker, keeping points picklable) and the
+pair fans across worker processes under ``--jobs``.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.graphcommon import run_graph_kernel
 from repro.experiments.platform import kron_graph, wdc_graph
 from repro.perf.report import render_series
+from repro.units import to_gb_per_s
+
+INPUTS = ("kron", "wdc")
+
+_GRAPHS = {"kron": kron_graph, "wdc": wdc_graph}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run_pagerank_trace(graph: str, quick: bool) -> Dict[str, Any]:
+    """One grid point: pagerank-push on one input, trace rendered in-worker."""
+    csr = _GRAPHS[graph](quick)
+    run_result = run_graph_kernel("pr", csr, mode="2lm", quick=quick)
+    scale = run_result.scale
+    trace = run_result.trace
+    series = {
+        "dram_read": to_gb_per_s(trace.bandwidth_series("dram_reads") * scale),
+        "dram_write": to_gb_per_s(trace.bandwidth_series("dram_writes") * scale),
+        "nvram_read": to_gb_per_s(trace.bandwidth_series("nvram_reads") * scale),
+        "nvram_write": to_gb_per_s(trace.bandwidth_series("nvram_writes") * scale),
+    }
+    lines = [
+        f"Figure 9 ({graph}) — bandwidth per round (GB/s, hardware-equivalent)",
+        render_series(series["dram_read"], "DRAM read"),
+        render_series(series["dram_write"], "DRAM write"),
+        render_series(series["nvram_read"], "NVRAM read"),
+        render_series(series["nvram_write"], "NVRAM write"),
+    ]
+    if graph == "wdc":
+        lines += [
+            "Figure 9c — tag events per round",
+            render_series(trace.tag_rate_series("hits"), "tag hits"),
+            render_series(trace.tag_rate_series("clean_misses"), "clean misses"),
+            render_series(trace.tag_rate_series("dirty_misses"), "dirty misses"),
+        ]
+    return {
+        "text": "\n".join(lines),
+        "series": series,
+        "hit_rate": run_result.tags.hit_rate,
+        "seconds": run_result.seconds,
+        "dram_gbps": run_result.bandwidth_gbps("dram_reads")
+        + run_result.bandwidth_gbps("dram_writes"),
+        "nvram_gbps": run_result.bandwidth_gbps("nvram_reads")
+        + run_result.bandwidth_gbps("nvram_writes"),
+        "clean_misses": run_result.tags.clean_misses,
+        "dirty_misses": run_result.tags.dirty_misses,
+    }
+
+
+def sweep_spec(quick: bool) -> SweepSpec:
+    return SweepSpec.grid(
+        "fig9",
+        run_pagerank_trace,
+        axes={"graph": list(INPUTS)},
+        common=dict(quick=quick),
+    )
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     result = ExperimentResult(name="fig9", title="pagerank-push traces in 2LM")
     data = {}
-    for label, csr in (("kron", kron_graph(quick)), ("wdc", wdc_graph(quick))):
-        run_result = run_graph_kernel("pr", csr, mode="2lm", quick=quick)
-        scale = run_result.scale
-        trace = run_result.trace
-        series = {
-            "dram_read": trace.bandwidth_series("dram_reads") * scale / 1e9,
-            "dram_write": trace.bandwidth_series("dram_writes") * scale / 1e9,
-            "nvram_read": trace.bandwidth_series("nvram_reads") * scale / 1e9,
-            "nvram_write": trace.bandwidth_series("nvram_writes") * scale / 1e9,
-        }
-        lines = [
-            f"Figure 9 ({label}) — bandwidth per round (GB/s, hardware-equivalent)",
-            render_series(series["dram_read"], "DRAM read"),
-            render_series(series["dram_write"], "DRAM write"),
-            render_series(series["nvram_read"], "NVRAM read"),
-            render_series(series["nvram_write"], "NVRAM write"),
-        ]
-        if label == "wdc":
-            lines += [
-                "Figure 9c — tag events per round",
-                render_series(trace.tag_rate_series("hits"), "tag hits"),
-                render_series(trace.tag_rate_series("clean_misses"), "clean misses"),
-                render_series(trace.tag_rate_series("dirty_misses"), "dirty misses"),
-            ]
-        result.add("\n".join(lines))
-        data[label] = {
-            "series": series,
-            "hit_rate": run_result.tags.hit_rate,
-            "seconds": run_result.seconds,
-            "dram_gbps": run_result.bandwidth_gbps("dram_reads")
-            + run_result.bandwidth_gbps("dram_writes"),
-            "nvram_gbps": run_result.bandwidth_gbps("nvram_reads")
-            + run_result.bandwidth_gbps("nvram_writes"),
-            "clean_misses": run_result.tags.clean_misses,
-            "dirty_misses": run_result.tags.dirty_misses,
-        }
+    for label, point in zip(INPUTS, run_sweep(sweep_spec(quick), jobs=jobs)):
+        point = dict(point)
+        result.add(point.pop("text"))
+        data[label] = point
     result.data = data
     return result

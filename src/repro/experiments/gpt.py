@@ -18,7 +18,7 @@ from repro.memsys import CachedBackend
 from repro.nn import build_training_graph, execute_iteration, plan_memory
 from repro.nn.networks import gpt_like
 from repro.perf.report import render_table
-from repro.units import format_bytes
+from repro.units import CACHE_LINE, GB, format_bytes
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -53,7 +53,7 @@ def run(quick: bool = False) -> ExperimentResult:
         raise ConfigurationError("AutoTM could not place the transformer")
 
     def gb(lines: int) -> str:
-        return f"{lines * 64 * scale / 1e9:.0f}"
+        return f"{lines * CACHE_LINE * scale / GB:.0f}"
 
     t2, ta = cached.traffic, autotm.traffic
     result = ExperimentResult(

@@ -17,6 +17,7 @@ from repro.graphs import (
 from repro.graphs.sage import setup_2lm, setup_numa, setup_sage
 from repro.memsys.counters import TagStats, Traffic
 from repro.perf import CounterSampler, Trace
+from repro.units import CACHE_LINE, GB, to_gb_per_s
 
 #: PageRank rounds (paper: 100; scaled runs converge in fewer).
 PR_ROUNDS = 25
@@ -55,16 +56,16 @@ class GraphRun:
         if not self.seconds:
             return 0.0
         lines = getattr(self.traffic, field)
-        return lines * 64 / self.seconds * self.scale / 1e9
+        return to_gb_per_s(lines * CACHE_LINE / self.seconds * self.scale)
 
     @property
     def total_moved_gb(self) -> float:
         """Total data moved, hardware-equivalent GB (Figure 8's metric)."""
-        return self.traffic.total_bytes * self.scale / 1e9
+        return self.traffic.total_bytes * self.scale / GB
 
     @property
     def demand_gb(self) -> float:
-        return self.traffic.demand_bytes * self.scale / 1e9
+        return self.traffic.demand_bytes * self.scale / GB
 
 
 def run_graph_kernel(

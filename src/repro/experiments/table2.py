@@ -13,13 +13,14 @@ from repro.experiments.autotm_common import run_2lm, run_autotm
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import PAPER_TABLE2, cnn_platform_for
 from repro.perf.report import render_table
+from repro.units import CACHE_LINE, GB
 
 NETWORKS = ("inception_v4", "resnet200", "densenet264")
 
 
 def _gb(lines: int, scale: float) -> float:
     """Hardware-equivalent decimal GB from a 64 B line count."""
-    return lines * 64 * scale / 1e9
+    return lines * CACHE_LINE * scale / GB
 
 
 def run(quick: bool = False) -> ExperimentResult:

@@ -123,14 +123,16 @@ class _EpochSupport:
         if self._active_epoch is not None:
             raise RuntimeError("epochs do not nest")
         tele = obs.get()
-        span = (
-            tele.span("memsys.epoch", cat="memsys", clock=lambda: self.counters.time)
-            if tele.enabled
-            else None
-        )
-        if span is not None:
-            span.__enter__()
-        try:
+        with contextlib.ExitStack() as stack:
+            span = (
+                stack.enter_context(
+                    tele.span(
+                        "memsys.epoch", cat="memsys", clock=lambda: self.counters.time
+                    )
+                )
+                if tele.enabled
+                else None
+            )
             epoch = Epoch(ctx)
             self._active_epoch = epoch
             try:
@@ -160,9 +162,6 @@ class _EpochSupport:
                     seconds=epoch.seconds,
                 )
                 self._record_epoch_metrics(tele, epoch)
-        finally:
-            if span is not None:
-                span.__exit__(None, None, None)
 
     def _record_epoch_metrics(self, tele, epoch: Epoch) -> None:
         tele.histogram(

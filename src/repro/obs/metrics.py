@@ -27,12 +27,16 @@ from pathlib import Path
 from typing import Any, Dict, List, Protocol, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.units import CACHE_LINE, KiB, MiB
 
 #: Default bucket boundaries for access-amplification histograms
 #: (Table I tops out at 5 accesses per demand access).
 AMPLIFICATION_BUCKETS = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0)
 #: Default bucket boundaries for batch/epoch size histograms (lines).
-SIZE_BUCKETS = (64.0, 1024.0, 16384.0, 65536.0, 262144.0, 1048576.0)
+SIZE_BUCKETS = tuple(
+    float(bound)
+    for bound in (CACHE_LINE, KiB, 16 * KiB, 64 * KiB, 256 * KiB, MiB)
+)
 #: Default bucket boundaries for rate-like [0, 1] metrics (hit rate).
 RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
 

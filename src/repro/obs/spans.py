@@ -122,12 +122,14 @@ class SpanTracer:
     """Collects spans and exports them as Chrome trace JSON or JSONL."""
 
     def __init__(self) -> None:
-        self._origin = time.perf_counter()
+        # Host-clock boundary: the tracer's whole job is measuring host
+        # wall-time; simulation results never read it.
+        self._origin = time.perf_counter()  # repro-lint: disable=DET001
         self._stack: List[Span] = []
         self.records: List[SpanRecord] = []
 
     def _now(self) -> float:
-        return time.perf_counter() - self._origin
+        return time.perf_counter() - self._origin  # repro-lint: disable=DET001
 
     def span(
         self,

@@ -13,6 +13,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.units import MiB
+
 _SHADES = " ░▒▓█"
 
 
@@ -58,7 +60,7 @@ def render_memory_map(
             _SHADES[min(len(_SHADES) - 1, int(f * (len(_SHADES) - 1) + 0.5))]
             for f in fraction[row]
         )
-        label = f"{(row + 1) * band_bytes / 2**20:6.0f}MiB"
+        label = f"{(row + 1) * band_bytes / MiB:6.0f}MiB"
         lines.append(f"{label} |{cells}|")
 
     axis = [" "] * width

@@ -9,7 +9,7 @@ from repro.autotm import (
     solve_ilp,
 )
 from repro.config import default_platform
-from repro.errors import SolverError
+from repro.errors import ConfigurationError, SolverError
 from repro.nn import build_training_graph
 from repro.nn.ops import GraphBuilder
 
@@ -63,7 +63,7 @@ class TestProblemConstruction:
 
     def test_rejects_zero_budget(self, platform):
         training = training_graph()
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             PlacementProblem.build(training, platform, 0)
 
 

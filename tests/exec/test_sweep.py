@@ -5,6 +5,7 @@ import time
 import pytest
 
 from repro import obs
+from repro.errors import ConfigurationError
 from repro.exec import SweepError, SweepSpec, fork_available, run_sweep
 from repro.exec.sweep import merge_worker_telemetry
 
@@ -176,7 +177,7 @@ class TestMergeHelpers:
         parent.histogram("h", (1.0, 2.0))
         worker = obs.MetricsRegistry()
         worker.histogram("h", (5.0,)).observe(1.0)
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             parent.merge_snapshot(worker.snapshot())
 
     def test_span_absorb_rebases(self):

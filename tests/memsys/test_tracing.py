@@ -52,7 +52,7 @@ class TestRecording:
             FlatBackend(platform, AddressMap.nvram_only(1000))
         )
         with pytest.raises(ConfigurationError):
-            recorder.trace
+            _ = recorder.trace
 
 
 class TestRoundTrip:
