@@ -22,7 +22,7 @@ import numpy as np
 
 from repro import obs
 from repro.autotm.model import PlacementMode, PlacementPlan
-from repro.config import PlatformConfig
+from repro.config import BATCH_LINES, PlatformConfig
 from repro.errors import ConfigurationError, InvariantError
 from repro.memsys.backends import FlatBackend
 from repro.memsys.counters import (
@@ -39,7 +39,7 @@ from repro.nn.liveness import analyze_liveness
 from repro.nn.planner import FirstFitArena
 from repro.perf.sampler import CounterSampler
 
-_BATCH_LINES = 1 << 16
+_BATCH_LINES = BATCH_LINES
 
 
 @dataclass

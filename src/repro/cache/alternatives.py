@@ -22,6 +22,7 @@ import numpy as np
 from repro.cache.base import as_lines
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
+from repro.perf.segments import segment
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)
@@ -68,18 +69,14 @@ class SetAssociativeCache:
         self._clock = np.int64(0)
 
     def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
-        sets = lines % self.num_sets
-        remaining = np.arange(lines.size, dtype=np.int64)
-        while remaining.size:
-            _, first = np.unique(sets[remaining], return_index=True)
-            if first.size == remaining.size:
-                yield remaining
-                return
-            first.sort()
-            yield remaining[first]
-            keep = np.ones(remaining.size, dtype=bool)
-            keep[first] = False
-            remaining = remaining[keep]
+        """Rank-partitioned rounds of pairwise-distinct sets, one sort.
+
+        LRU stamps couple same-set occurrences of *different* lines, so
+        the closed-form duplicate resolution of the direct-mapped engine
+        does not apply; rounds are kept but all derived from one
+        segmented sort instead of one ``np.unique`` per collision round.
+        """
+        return segment(lines % self.num_sets).rounds()
 
     def _lookup(self, sets: np.ndarray, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Return (hit mask, way index) — way is the hit way or LRU victim."""

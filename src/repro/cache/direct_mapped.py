@@ -2,12 +2,19 @@
 
 Implements exactly the protocol documented in :mod:`repro.cache.flow`
 (the Figure-3 flowchart), but processes whole batches of line addresses
-with numpy.  A batch is decomposed into *rounds*: within one round every
-request maps to a distinct set, so state updates are independent and can
-be applied with array operations; requests that collide on a set are
-deferred to later rounds in their original relative order.  The result
-is bit-for-bit equivalent to processing the batch one access at a time
-(property-tested against :class:`~repro.cache.flow.ReferenceCache`).
+with numpy in a single O(n log n) pass per batch: the segmented engine
+(:mod:`repro.cache.engine`) groups each batch by set, resolves duplicate
+occurrences with closed-form recurrences, and applies every state update
+with array operations — no Python loop over collision rounds, so
+adversarial all-same-set batches cost the same as collision-free ones.
+The result is bit-for-bit equivalent to processing the batch one access
+at a time (property-tested against
+:class:`~repro.cache.flow.ReferenceCache`).
+
+The superseded round decomposition — split the batch into rounds of
+pairwise-distinct sets, one ``np.unique`` sort per round — is kept as
+``engine="rounds"`` for review-time comparison and the old-vs-new
+benchmark (``benchmarks/test_cache_engine.py``).
 
 Tag storage: the real hardware keeps the tag plus line state in the
 spare ECC bits of each DRAM line (Section IV, Intel patent US 9563564).
@@ -21,12 +28,16 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from repro.cache import engine as _engine_ops
 from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
+from repro.perf.segments import segment
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)
+
+_ENGINES = ("segmented", "rounds")
 
 
 class DirectMappedCache:
@@ -45,6 +56,11 @@ class DirectMappedCache:
         The real controller always inserts on a miss, even for writes
         that fully overwrite the line (Section IV-B).  Disabling gives
         the "write-around" design variant for ablations.
+    engine:
+        Batch-processing strategy: ``"segmented"`` (default) resolves
+        duplicates closed-form in one pass; ``"rounds"`` is the legacy
+        per-collision-round decomposition, kept for equivalence testing
+        and the old-vs-new benchmark.
     """
 
     def __init__(
@@ -54,6 +70,7 @@ class DirectMappedCache:
         *,
         ddo_enabled: bool = True,
         insert_on_write_miss: bool = True,
+        engine: str = "segmented",
     ) -> None:
         if line_size <= 0 or capacity < line_size:
             raise ConfigurationError(
@@ -61,11 +78,14 @@ class DirectMappedCache:
             )
         if capacity % line_size:
             raise ConfigurationError("capacity must be a whole number of lines")
+        if engine not in _ENGINES:
+            raise ConfigurationError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.capacity = capacity
         self.line_size = line_size
         self.num_sets = capacity // line_size
         self.ddo_enabled = ddo_enabled
         self.insert_on_write_miss = insert_on_write_miss
+        self.engine = engine
         self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
         self._dirty = np.zeros(self.num_sets, dtype=bool)
         self._known_resident = np.zeros(self.num_sets, dtype=bool)
@@ -76,7 +96,7 @@ class DirectMappedCache:
         self._dirty.fill(False)
         self._known_resident.fill(False)
 
-    # -- batch decomposition --------------------------------------------------
+    # -- legacy batch decomposition (engine="rounds") -------------------------
 
     def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
         """Split a batch into rounds with pairwise-distinct sets.
@@ -84,6 +104,11 @@ class DirectMappedCache:
         Yields index arrays into ``lines``.  Occurrences of the same set
         appear in successive rounds in their original order, so applying
         each round's updates atomically is sequentially consistent.
+
+        Superseded by the closed-form segmented engine: this pays one
+        ``np.unique`` sort per collision round, so high-collision batches
+        degrade toward serial cost.  Kept while the engine is under
+        review, as the comparison baseline.
         """
         sets = lines % self.num_sets
         remaining = np.arange(lines.size, dtype=np.int64)
@@ -105,8 +130,26 @@ class DirectMappedCache:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_reads = int(lines.size)
-        for index in self._rounds(lines):
-            self._read_round(lines[index], traffic, tags)
+        # Research variants override the round hook; they must keep
+        # flowing through the round loop to see their customization.
+        if self.engine == "segmented" and type(self)._read_round is DirectMappedCache._read_round:
+            counts = _engine_ops.read_batch(
+                lines, lines % self.num_sets,
+                self._tags, self._dirty, self._known_resident,
+            )
+            # Every LLC read fetches tag+data from DRAM (the tag check);
+            # the miss handler adds NVRAM fetch + DRAM insert, plus a
+            # write-back when the victim is dirty.
+            traffic.dram_reads += counts.requests
+            traffic.nvram_reads += counts.misses
+            traffic.dram_writes += counts.misses
+            traffic.nvram_writes += counts.dirty_misses
+            tags.hits += counts.requests - counts.misses
+            tags.clean_misses += counts.misses - counts.dirty_misses
+            tags.dirty_misses += counts.dirty_misses
+        else:
+            for index in self._rounds(lines):
+                self._read_round(lines[index], traffic, tags)
         record_cache_metrics("direct_mapped", traffic, tags)
         return traffic, tags
 
@@ -145,8 +188,31 @@ class DirectMappedCache:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_writes = int(lines.size)
-        for index in self._rounds(lines):
-            self._write_round(lines[index], traffic, tags)
+        if self.engine == "segmented" and type(self)._write_round is DirectMappedCache._write_round:
+            counts = _engine_ops.write_batch(
+                lines, lines % self.num_sets,
+                self._tags, self._dirty, self._known_resident,
+                ddo_enabled=self.ddo_enabled,
+                insert_on_write_miss=self.insert_on_write_miss,
+            )
+            # DDO writes go straight to DRAM; everything else tag-checks
+            # first, hits update in place, and misses run the miss
+            # handler (insert) or stream to NVRAM (write-around).
+            traffic.dram_reads += counts.requests - counts.ddo_writes
+            traffic.dram_writes += counts.ddo_writes + counts.hits
+            if self.insert_on_write_miss:
+                traffic.nvram_reads += counts.misses
+                traffic.dram_writes += 2 * counts.misses
+                traffic.nvram_writes += counts.dirty_misses
+            else:
+                traffic.nvram_writes += counts.misses
+            tags.ddo_writes += counts.ddo_writes
+            tags.hits += counts.hits
+            tags.clean_misses += counts.misses - counts.dirty_misses
+            tags.dirty_misses += counts.dirty_misses
+        else:
+            for index in self._rounds(lines):
+                self._write_round(lines[index], traffic, tags)
         record_cache_metrics("direct_mapped", traffic, tags)
         return traffic, tags
 
@@ -209,13 +275,19 @@ class DirectMappedCache:
 
         Experiment setup helper: the paper primes the cache by running
         warm-up iterations; ``prime`` produces the same state instantly.
-        Later occupants of a set win, as they would under real accesses.
+        Later occupants of a set win, as they would under real accesses —
+        enforced explicitly by keeping only each set's last occurrence,
+        rather than leaning on numpy fancy-assignment happening to apply
+        duplicate indices left-to-right (an undocumented implementation
+        detail).
         """
         lines = as_lines(lines)
         sets = lines % self.num_sets
-        self._tags[sets] = lines
-        self._dirty[sets] = dirty
-        self._known_resident[sets] = known_resident
+        seg = segment(sets)
+        winners = seg.order[seg.last]  # each set's last occurrence, batch order
+        self._tags[sets[winners]] = lines[winners]
+        self._dirty[sets[winners]] = dirty
+        self._known_resident[sets[winners]] = known_resident
 
     def contains(self, lines: np.ndarray) -> np.ndarray:
         """Boolean mask: which of ``lines`` are currently cached."""

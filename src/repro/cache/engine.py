@@ -1,0 +1,245 @@
+"""Closed-form duplicate resolution for the direct-mapped cache.
+
+The direct-mapped model used to decompose every batch into collision
+rounds, paying one ``np.unique`` sort per round; a batch where many
+lines alias the same set (streaming writes that wrap the cache, the
+small-capacity ablation points, graph traces) degraded toward serial
+per-access cost — exactly the high-miss regime the paper cares about.
+This module removes the round loop entirely.
+
+The key observation: within one batch of same-kind requests, only the
+*first* access to a set interacts with pre-batch cache state; every
+later access to that set sees exactly the state the immediately
+preceding occurrence left behind.  Over the grouped view of a
+:class:`~repro.perf.segments.SegmentedBatch` that one-step recurrence
+has a closed form for each request kind:
+
+**Reads.**  Occurrence ``k`` hits iff its line equals the previous
+occurrence's line (for ``k = 0``, the resident tag).  A read miss
+installs a clean line, so at most one miss per set — the segment's
+first — can evict pre-batch dirty state; every later miss is clean by
+construction.  Final state: the set holds the segment's last line,
+dirty only if the whole segment hit.
+
+**Writes, insert-on-miss.**  Every write leaves its set dirty, so every
+miss after a set's first occurrence is a dirty miss.  The Dirty Data
+Optimization needs the "known resident" bit, which survives only along
+an unbroken prefix of tag matches, so DDO applies to occurrence ``k``
+iff the set started known-resident and occurrences ``0..k`` all match —
+an exclusive segmented mismatch count of zero.  Final state: last line,
+dirty, known-resident only if the set started so and the whole segment
+matched.
+
+**Writes, write-around.**  A write-around miss leaves the set untouched,
+so the resident tag never changes inside the batch: every occurrence
+compares against the pre-batch tag, and the set turns dirty at the
+first match (hit or DDO).  A miss is dirty iff the set started dirty or
+any earlier occurrence matched.
+
+Each formula is a handful of vectorized segment operations — two sorts
+and a few scans per batch, O(n log n) regardless of collision structure —
+and is property-tested bit-for-bit against the scalar
+:class:`~repro.cache.flow.ReferenceCache` (``tests/cache/test_engine_property.py``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.perf.segments import segment
+
+
+class ReadCounts(NamedTuple):
+    """Tag outcomes of one batched-read pass (state already updated)."""
+
+    requests: int
+    misses: int
+    dirty_misses: int
+
+
+class WriteCounts(NamedTuple):
+    """Tag outcomes of one batched-write pass (state already updated)."""
+
+    requests: int
+    ddo_writes: int
+    hits: int
+    misses: int
+    dirty_misses: int
+
+
+def read_batch(
+    lines: np.ndarray,
+    sets: np.ndarray,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+) -> ReadCounts:
+    """Apply a batch of LLC reads to direct-mapped state, in one pass.
+
+    Mutates ``tags``/``dirty``/``known_resident`` in place and returns
+    the tag outcome counts; the caller owns traffic accounting.
+    """
+    n = int(lines.size)
+    seg = segment(sets)
+    if seg.collision_free:
+        # No set is touched twice: the whole batch is one independent round.
+        hit = tags[sets] == lines
+        miss = ~hit
+        n_miss = int(miss.sum())
+        n_dirty = int((miss & dirty[sets]).sum())
+        miss_sets = sets[miss]
+        tags[miss_sets] = lines[miss]
+        dirty[miss_sets] = False
+        known_resident[sets] = True
+        return ReadCounts(n, n_miss, n_dirty)
+
+    grouped_lines = lines[seg.order]
+    grouped_sets = seg.sorted_keys
+    lead_sets = grouped_sets[seg.first]
+    # Previous occurrence's line; the pre-batch resident tag for firsts.
+    prev = np.empty_like(grouped_lines)
+    prev[1:] = grouped_lines[:-1]
+    prev[seg.first] = tags[lead_sets]
+    miss = grouped_lines != prev
+    n_miss = int(miss.sum())
+    # Only a segment's first miss can see pre-batch dirty state; every
+    # later miss evicts a line this batch installed clean.
+    first_miss = miss & (seg.exclusive_count(miss) == 0)
+    n_dirty = int((first_miss & dirty[grouped_sets]).sum())
+
+    seg_missed = seg.segment_total(miss) > 0
+    tags[lead_sets] = grouped_lines[seg.last]
+    dirty[lead_sets] &= ~seg_missed
+    known_resident[lead_sets] = True
+    return ReadCounts(n, n_miss, n_dirty)
+
+
+def write_batch(
+    lines: np.ndarray,
+    sets: np.ndarray,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    *,
+    ddo_enabled: bool,
+    insert_on_write_miss: bool,
+) -> WriteCounts:
+    """Apply a batch of LLC write-backs to direct-mapped state, in one pass.
+
+    Mutates the state arrays in place and returns the tag outcome
+    counts; the caller owns traffic accounting (which differs between
+    the insert-on-miss and write-around policies).
+    """
+    n = int(lines.size)
+    seg = segment(sets)
+    if seg.collision_free:
+        return _write_distinct(
+            lines, sets, tags, dirty, known_resident,
+            ddo_enabled=ddo_enabled, insert_on_write_miss=insert_on_write_miss,
+        )
+    if insert_on_write_miss:
+        return _write_insert(
+            lines, seg, tags, dirty, known_resident, ddo_enabled=ddo_enabled
+        )
+    return _write_around(
+        lines, seg, tags, dirty, known_resident, ddo_enabled=ddo_enabled
+    )
+
+
+def _write_distinct(
+    lines: np.ndarray,
+    sets: np.ndarray,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    *,
+    ddo_enabled: bool,
+    insert_on_write_miss: bool,
+) -> WriteCounts:
+    """Collision-free batch: one independent vectorized round."""
+    n = int(lines.size)
+    match = tags[sets] == lines
+    if ddo_enabled:
+        ddo = match & known_resident[sets]
+    else:
+        ddo = np.zeros(n, dtype=bool)
+    hit = match & ~ddo
+    miss = ~match
+    n_dirty = int((miss & dirty[sets]).sum())
+
+    dirty[sets[ddo]] = True
+    dirty[sets[hit]] = True
+    if insert_on_write_miss:
+        miss_sets = sets[miss]
+        tags[miss_sets] = lines[miss]
+        dirty[miss_sets] = True
+        known_resident[miss_sets] = False
+    return WriteCounts(n, int(ddo.sum()), int(hit.sum()), int(miss.sum()), n_dirty)
+
+
+def _write_insert(
+    lines: np.ndarray,
+    seg,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    *,
+    ddo_enabled: bool,
+) -> WriteCounts:
+    n = int(lines.size)
+    grouped_lines = lines[seg.order]
+    grouped_sets = seg.sorted_keys
+    lead_sets = grouped_sets[seg.first]
+    prev = np.empty_like(grouped_lines)
+    prev[1:] = grouped_lines[:-1]
+    prev[seg.first] = tags[lead_sets]
+    match = grouped_lines == prev
+    mismatch = ~match
+    if ddo_enabled:
+        # Known-residency survives only an unbroken prefix of matches.
+        ddo = match & (seg.exclusive_count(mismatch) == 0) & known_resident[grouped_sets]
+    else:
+        ddo = np.zeros(n, dtype=bool)
+    hit = match & ~ddo
+    # Every write leaves its set dirty, so any miss after a set's first
+    # occurrence evicts a line this batch dirtied.
+    dirty_miss = mismatch & (dirty[grouped_sets] | ~seg.first)
+    n_dirty = int(dirty_miss.sum())
+
+    seg_mismatched = seg.segment_total(mismatch) > 0
+    tags[lead_sets] = grouped_lines[seg.last]
+    dirty[lead_sets] = True
+    known_resident[lead_sets] &= ~seg_mismatched
+    return WriteCounts(n, int(ddo.sum()), int(hit.sum()), int(mismatch.sum()), n_dirty)
+
+
+def _write_around(
+    lines: np.ndarray,
+    seg,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    *,
+    ddo_enabled: bool,
+) -> WriteCounts:
+    n = int(lines.size)
+    grouped_lines = lines[seg.order]
+    grouped_sets = seg.sorted_keys
+    lead_sets = grouped_sets[seg.first]
+    # A write-around miss leaves the set untouched, so every occurrence
+    # compares against the pre-batch resident tag.
+    match = grouped_lines == tags[grouped_sets]
+    if ddo_enabled:
+        ddo = match & known_resident[grouped_sets]
+    else:
+        ddo = np.zeros(n, dtype=bool)
+    hit = match & ~ddo
+    miss = ~match
+    # The set turns dirty at its first match (hit or DDO write).
+    dirty_at = dirty[grouped_sets] | (seg.exclusive_count(match) > 0)
+    n_dirty = int((miss & dirty_at).sum())
+
+    dirty[lead_sets] |= seg.segment_total(match) > 0
+    return WriteCounts(n, int(ddo.sum()), int(hit.sum()), int(miss.sum()), n_dirty)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
+from repro.perf.segments import segment
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)
@@ -74,18 +75,16 @@ class SectorCache:
         return sector, offset, index
 
     def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
+        """Rank-partitioned rounds of pairwise-distinct sets, one sort.
+
+        Per-line valid bitmaps make the same-set recurrence stateful in a
+        way the closed-form direct-mapped engine cannot collapse, so the
+        sector cache keeps round processing — but derives every round
+        from a single segmented sort instead of one ``np.unique`` per
+        collision round.
+        """
         index = (lines // self.sector_lines) % self.num_sets
-        remaining = np.arange(lines.size, dtype=np.int64)
-        while remaining.size:
-            _, first = np.unique(index[remaining], return_index=True)
-            if first.size == remaining.size:
-                yield remaining
-                return
-            first.sort()
-            yield remaining[first]
-            keep = np.ones(remaining.size, dtype=bool)
-            keep[first] = False
-            remaining = remaining[keep]
+        return segment(index).rounds()
 
     # -- shared miss machinery ------------------------------------------------
 

@@ -194,6 +194,17 @@ class PlatformConfig:
         return replace(self, socket=socket, scale_factor=self.scale_factor * factor)
 
 
+#: Lines per backend call for the workload executors that stream request
+#: batches (nn, graphs, autotm, recsys, kernels).  A pure implementation
+#: granularity: it bounds numpy temporaries and sets how finely the
+#: kernel runner's LLC write-back queue interleaves with demand reads.
+#: Re-tuned from ``1 << 16`` after the segmented cache engine made
+#: high-collision batches O(n log n): larger batches now amortize more
+#: per-call overhead with no collision-regime penalty, and at the
+#: default 1/1024 scale the scaled LLC is far smaller than either value,
+#: so write-back resolution is unchanged.
+BATCH_LINES = 1 << 18
+
 #: The canonical paper platform at full (hardware) scale.
 PAPER_PLATFORM = PlatformConfig()
 

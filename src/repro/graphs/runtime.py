@@ -30,13 +30,14 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.config import BATCH_LINES
 from repro.errors import ConfigurationError
 from repro.graphs.csr import CSRGraph
 from repro.memsys.backends import MemoryBackend
 from repro.memsys.counters import AccessContext, AccessKind, Pattern
 from repro.perf.sampler import CounterSampler
 
-_BATCH_LINES = 1 << 16
+_BATCH_LINES = BATCH_LINES
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import obs
 from repro.cache.base import AccessKind
+from repro.config import BATCH_LINES
 from repro.cpu.cores import retired_instructions
 from repro.cpu.llc import LLCModel, WritebackQueue
 from repro.kernels.bench import Kernel, KernelSpec
@@ -24,7 +25,8 @@ from repro.units import CACHE_LINE, to_gb_per_s
 
 #: Lines per backend call; large enough to amortize numpy overhead,
 #: small enough that the standard-store write-back delay is resolved.
-DEFAULT_BATCH_LINES = 1 << 16
+#: Shared with every other streaming executor via :mod:`repro.config`.
+DEFAULT_BATCH_LINES = BATCH_LINES
 
 
 @dataclass

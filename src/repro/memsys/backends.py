@@ -17,8 +17,8 @@ counters, and advances the virtual clock using the timing model.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
-from typing import Iterator, Optional, Protocol
+from dataclasses import dataclass, fields
+from typing import Iterator, List, Optional, Protocol
 
 import numpy as np
 
@@ -46,6 +46,34 @@ class _CacheLike(Protocol):
 #: Calibrated fraction of raw NVRAM bandwidth achievable through the 2LM
 #: miss handler (Section IV-D: 23 GB/s of ~32 GB/s read, 8 of ~11 write).
 MISS_HANDLER_EFFICIENCY = 0.72
+
+#: (attribute, metric name, help) rows for the per-access counters, so
+#: the hot accounting loop never rebuilds metric-name strings per batch.
+_TRAFFIC_COUNTER_SPECS = tuple(
+    (f.name, f"repro_{f.name}_total", f"IMC {f.name.replace('_', ' ')} (lines)")
+    for f in fields(Traffic)
+)
+_TAG_COUNTER_SPECS = tuple(
+    (f.name, f"repro_tag_{f.name}_total", f"2LM tag {f.name.replace('_', ' ')}")
+    for f in fields(TagStats)
+)
+
+
+class _CounterHandles:
+    """Per-backend cache of resolved telemetry counter handles.
+
+    Valid for exactly one telemetry handle (compared by identity in
+    :meth:`_EpochSupport._account`); each slot resolves lazily on its
+    first nonzero increment, preserving the registry invariant that a
+    counter exists only once something was recorded to it.
+    """
+
+    __slots__ = ("tele", "traffic", "tags")
+
+    def __init__(self, tele) -> None:
+        self.tele = tele
+        self.traffic: List[Optional[obs.Counter]] = [None] * len(_TRAFFIC_COUNTER_SPECS)
+        self.tags: List[Optional[obs.Counter]] = [None] * len(_TAG_COUNTER_SPECS)
 
 
 @dataclass(frozen=True)
@@ -117,6 +145,7 @@ class _EpochSupport:
 
     def __init__(self) -> None:
         self._active_epoch: Optional[Epoch] = None
+        self._counter_handles: Optional[_CounterHandles] = None
 
     @contextlib.contextmanager
     def epoch(self, ctx: AccessContext) -> Iterator[Epoch]:
@@ -230,16 +259,23 @@ class _EpochSupport:
             self.counters.record_tags(tags)
         tele = obs.get()
         if tele.enabled:
-            for name, value in traffic.as_dict().items():
+            handles = self._counter_handles
+            if handles is None or handles.tele is not tele:
+                handles = self._counter_handles = _CounterHandles(tele)
+            for index, (attr, metric, help_text) in enumerate(_TRAFFIC_COUNTER_SPECS):
+                value = getattr(traffic, attr)
                 if value:
-                    tele.counter(
-                        f"repro_{name}_total", f"IMC {name.replace('_', ' ')} (lines)"
-                    ).inc(value)
-            for name, value in tags.as_dict().items():
+                    counter = handles.traffic[index]
+                    if counter is None:
+                        counter = handles.traffic[index] = tele.counter(metric, help_text)
+                    counter.inc(value)
+            for index, (attr, metric, help_text) in enumerate(_TAG_COUNTER_SPECS):
+                value = getattr(tags, attr)
                 if value:
-                    tele.counter(
-                        f"repro_tag_{name}_total", f"2LM tag {name.replace('_', ' ')}"
-                    ).inc(value)
+                    counter = handles.tags[index]
+                    if counter is None:
+                        counter = handles.tags[index] = tele.counter(metric, help_text)
+                    counter.inc(value)
         if self._active_epoch is not None:
             self._active_epoch.traffic += traffic
             self._active_epoch.tags += tags

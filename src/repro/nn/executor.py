@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.config import BATCH_LINES
 from repro.errors import ConfigurationError
 from repro.memsys.backends import MemoryBackend
 from repro.memsys.counters import (
@@ -48,7 +49,7 @@ COMPUTE_EFFICIENCY = 0.6
 #: Fraction of peak flops achieved by memory-bound elementwise kernels.
 ELEMENTWISE_EFFICIENCY = 0.3
 
-_BATCH_LINES = 1 << 16
+_BATCH_LINES = BATCH_LINES
 
 
 @dataclass

@@ -1,0 +1,146 @@
+"""Segmented-batch primitives: one-sort decomposition of request batches.
+
+A *segmented batch* groups the positions of one request batch by an
+integer key — for the cache models, the set index — while preserving the
+original order of requests within each key.  A single stable O(n log n)
+argsort yields everything the batched cache engines need:
+
+* ``order`` — batch positions regrouped key-major, original order kept
+  within each key (so ``values[order]`` walks each set's accesses in
+  program order);
+* ``first`` / ``last`` — occurrence masks over the grouped view;
+* ``rank`` — the occurrence number of each request within its key;
+* segmented prefix counts (:meth:`SegmentedBatch.exclusive_count`) and
+  per-segment totals (:meth:`SegmentedBatch.segment_total`) — the
+  building blocks of the closed-form duplicate-resolution recurrences in
+  :mod:`repro.cache.engine`.
+
+The legacy decomposition re-ran ``np.unique`` — itself a stable argsort —
+once *per collision round*, so a batch where every line maps to one set
+cost O(n^2 log n).  Everything here is derived from one sort, so
+adversarial all-same-set batches cost the same O(n log n) as
+collision-free ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class SegmentedBatch:
+    """A batch of integer keys grouped into contiguous segments.
+
+    All mask/count attributes are indexed by *sorted position* (the
+    key-major grouped view); ``order`` maps sorted positions back to the
+    original batch positions.  Segments appear in ascending key order,
+    and within a segment sorted positions preserve original batch order.
+    """
+
+    __slots__ = (
+        "keys",
+        "order",
+        "sorted_keys",
+        "first",
+        "last",
+        "first_pos",
+        "collision_free",
+        "_segment_id",
+        "_rank",
+    )
+
+    def __init__(self, keys: np.ndarray) -> None:
+        n = keys.size
+        self.keys = keys
+        self.order = np.argsort(keys, kind="stable")
+        self.sorted_keys = keys[self.order]
+        if n:
+            boundary = self.sorted_keys[1:] != self.sorted_keys[:-1]
+            self.first = np.concatenate(([True], boundary))
+            self.last = np.concatenate((boundary, [True]))
+        else:
+            self.first = np.zeros(0, dtype=bool)
+            self.last = np.zeros(0, dtype=bool)
+        self.first_pos = np.flatnonzero(self.first)
+        self.collision_free = bool(self.first_pos.size == n)
+        self._segment_id: Optional[np.ndarray] = None
+        self._rank: Optional[np.ndarray] = None
+
+    # -- derived views (computed on first use) -----------------------------
+
+    @property
+    def num_segments(self) -> int:
+        """Number of distinct keys in the batch."""
+        return int(self.first_pos.size)
+
+    @property
+    def leaders(self) -> np.ndarray:
+        """The distinct keys, ascending (one per segment)."""
+        return self.sorted_keys[self.first]
+
+    @property
+    def segment_id(self) -> np.ndarray:
+        """Segment index of each sorted position (0..num_segments-1)."""
+        if self._segment_id is None:
+            self._segment_id = np.cumsum(self.first) - 1
+        return self._segment_id
+
+    @property
+    def rank(self) -> np.ndarray:
+        """Occurrence number of each sorted position within its segment."""
+        if self._rank is None:
+            if self.collision_free:
+                self._rank = np.zeros(self.keys.size, dtype=np.int64)
+            else:
+                self._rank = (
+                    np.arange(self.keys.size, dtype=np.int64)
+                    - self.first_pos[self.segment_id]
+                )
+        return self._rank
+
+    # -- segmented scans ---------------------------------------------------
+
+    def exclusive_count(self, mask: np.ndarray) -> np.ndarray:
+        """Per sorted position: how many True entries precede it *within
+        its segment* (strictly before, i.e. an exclusive segmented scan).
+        """
+        before = np.cumsum(mask) - mask
+        return before - before[self.first_pos[self.segment_id]]
+
+    def segment_total(self, mask: np.ndarray) -> np.ndarray:
+        """Per-segment count of True entries (aligned with ``leaders``)."""
+        if not mask.size:
+            return np.zeros(0, dtype=np.int64)
+        return np.add.reduceat(mask.astype(np.int64), self.first_pos)
+
+    # -- round decomposition (for models without a closed form) ------------
+
+    def rounds(self) -> Iterator[np.ndarray]:
+        """Partition the batch into rounds of pairwise-distinct keys.
+
+        Round ``r`` holds the positions whose occurrence rank is ``r``,
+        in ascending original order — exactly the rounds the legacy
+        per-round ``np.unique`` loop produced, but from one sort.
+        Models whose same-set recurrence has no closed form (LRU ways,
+        sector valid bitmaps) iterate these instead of re-sorting the
+        remainder every round.
+        """
+        n = self.keys.size
+        if not n:
+            return
+        if self.collision_free:
+            yield np.arange(n, dtype=np.int64)
+            return
+        counts = np.bincount(self.rank)
+        grouped = self.order[np.argsort(self.rank, kind="stable")]
+        start = 0
+        for count in counts.tolist():
+            chunk = grouped[start : start + count]
+            start += count
+            yield np.sort(chunk)
+
+
+def segment(keys: np.ndarray) -> SegmentedBatch:
+    """Group a batch of integer keys into a :class:`SegmentedBatch`."""
+    return SegmentedBatch(keys)

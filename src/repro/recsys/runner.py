@@ -22,7 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.cache import DirectMappedCache
-from repro.config import PlatformConfig
+from repro.config import BATCH_LINES, PlatformConfig
 from repro.errors import ConfigurationError
 from repro.memsys.backends import CachedBackend, FlatBackend, MemoryBackend
 from repro.memsys.counters import (
@@ -36,7 +36,7 @@ from repro.memsys.topology import AddressMap
 from repro.recsys.embedding import EmbeddingModel, LookupTrace
 from repro.recsys.placement import HotRowPlacement
 
-_BATCH_LINES = 1 << 16
+_BATCH_LINES = BATCH_LINES
 
 MODES = ("2lm", "bandana", "nvram")
 

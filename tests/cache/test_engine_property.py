@@ -1,0 +1,98 @@
+"""Randomized bit-exactness: both batch engines vs the scalar reference.
+
+Drives the segmented closed-form engine AND the legacy round
+decomposition (``engine="rounds"``) through thousands of randomized
+batches — uniform, high-collision, and adversarial all-same-set — under
+every ``ddo_enabled`` x ``insert_on_write_miss`` combination, asserting
+per-batch traffic and tag counters plus final cache state match the
+literal Figure-3 :class:`~repro.cache.flow.ReferenceCache` exactly.
+
+Together with ``tests/cache/test_equivalence.py`` (hypothesis-driven,
+also engine-parametrized) this is the evidence that the closed-form
+duplicate-resolution recurrences in :mod:`repro.cache.engine` are
+bit-for-bit equivalent to serial processing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import DirectMappedCache, ReferenceCache
+
+NUM_SETS = 8
+LINE_SPAN = NUM_SETS * 6  # six aliases per set
+BATCHES_PER_CASE = 660  # 660 x 16 cases = 10,560 batches per engine
+MAX_BATCH = 14
+
+CONFIGS = [
+    pytest.param(ddo, insert, id=f"ddo{int(ddo)}-insert{int(insert)}")
+    for ddo in (False, True)
+    for insert in (False, True)
+]
+
+
+def draw_batch(rng, scenario):
+    n = int(rng.integers(0, MAX_BATCH + 1))
+    if scenario == "uniform":
+        return rng.integers(0, LINE_SPAN, size=n).astype(np.int64)
+    if scenario == "high_collision":
+        # Two sets only: nearly every batch has duplicate occurrences.
+        hot_sets = rng.integers(0, 2, size=n)
+        alias = rng.integers(0, 6, size=n)
+        return (hot_sets + alias * NUM_SETS).astype(np.int64)
+    if scenario == "all_same_set":
+        # One set, random alias per request: the adversarial worst case.
+        alias = rng.integers(0, 6, size=n)
+        return (3 + alias * NUM_SETS).astype(np.int64)
+    raise AssertionError(scenario)
+
+
+SCENARIOS = ["uniform", "high_collision", "all_same_set"]
+
+
+@pytest.mark.parametrize("engine", ["segmented", "rounds"])
+@pytest.mark.parametrize("ddo,insert", CONFIGS)
+def test_engines_match_reference(engine, ddo, insert):
+    case_id = (engine == "segmented") * 4 + ddo * 2 + insert
+    rng = np.random.default_rng(0xD1CE + case_id)
+    for scenario in SCENARIOS:
+        vectorized = DirectMappedCache(
+            NUM_SETS * 64, ddo_enabled=ddo, insert_on_write_miss=insert, engine=engine
+        )
+        reference = ReferenceCache(
+            NUM_SETS, ddo_enabled=ddo, insert_on_write_miss=insert
+        )
+        for step in range(BATCHES_PER_CASE // len(SCENARIOS)):
+            lines = draw_batch(rng, scenario)
+            if rng.random() < 0.5:
+                vt, vg = vectorized.llc_read(lines)
+                rt, rg = reference.llc_read(lines)
+            else:
+                vt, vg = vectorized.llc_write(lines)
+                rt, rg = reference.llc_write(lines)
+            context = f"{engine}/{scenario} step {step}: {lines.tolist()}"
+            assert vt == rt, f"traffic diverged ({context}): {vt} vs {rt}"
+            assert vg == rg, f"tag stats diverged ({context}): {vg} vs {rg}"
+        # Final state, line by line over the whole alias span.
+        for line in range(LINE_SPAN):
+            probe = np.array([line], dtype=np.int64)
+            assert bool(vectorized.contains(probe)[0]) == reference.contains(line)
+            assert bool(vectorized.is_dirty(probe)[0]) == reference.is_dirty(line)
+
+
+@pytest.mark.parametrize("engine", ["segmented", "rounds"])
+def test_empty_and_singleton_batches(engine):
+    cache = DirectMappedCache(NUM_SETS * 64, engine=engine)
+    empty = np.array([], dtype=np.int64)
+    traffic, tags = cache.llc_read(empty)
+    assert traffic.nvram_reads == 0 and tags.clean_misses == 0
+    traffic, tags = cache.llc_write(empty)
+    assert traffic.nvram_writes == 0
+    traffic, tags = cache.llc_read(np.array([5], dtype=np.int64))
+    assert tags.clean_misses == 1
+
+
+def test_engine_kwarg_validated():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        DirectMappedCache(NUM_SETS * 64, engine="quantum")

@@ -6,6 +6,7 @@ reads and writes, including batches with heavy set conflicts.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -42,12 +43,13 @@ def apply_ops(cache, ops):
     return results
 
 
+@pytest.mark.parametrize("engine", ["segmented", "rounds"])
 @given(scenarios())
 @settings(max_examples=300, deadline=None)
-def test_vectorized_matches_reference(scenario):
+def test_vectorized_matches_reference(engine, scenario):
     num_sets, ops, ddo, insert = scenario
     vectorized = DirectMappedCache(
-        num_sets * 64, ddo_enabled=ddo, insert_on_write_miss=insert
+        num_sets * 64, ddo_enabled=ddo, insert_on_write_miss=insert, engine=engine
     )
     reference = ReferenceCache(
         num_sets, ddo_enabled=ddo, insert_on_write_miss=insert

@@ -1,0 +1,119 @@
+"""Unit tests for the segmented-batch primitives.
+
+Every derived view of :class:`~repro.perf.segments.SegmentedBatch` is
+checked against a brute-force per-key computation, and the round
+decomposition is checked against the legacy per-round ``np.unique``
+loop it replaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.segments import SegmentedBatch, segment
+
+
+def legacy_rounds(keys):
+    """The superseded decomposition: one np.unique per collision round."""
+    remaining = np.arange(keys.size, dtype=np.int64)
+    while remaining.size:
+        _, first = np.unique(keys[remaining], return_index=True)
+        if first.size == remaining.size:
+            yield remaining
+            return
+        first.sort()
+        yield remaining[first]
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[first] = False
+        remaining = remaining[keep]
+
+
+def brute_rank(keys):
+    """Occurrence number of each batch position within its key."""
+    counts = {}
+    out = np.zeros(keys.size, dtype=np.int64)
+    for i, key in enumerate(keys.tolist()):
+        out[i] = counts.get(key, 0)
+        counts[key] = out[i] + 1
+    return out
+
+
+def batches():
+    rng = np.random.default_rng(0x5E65)
+    yield np.array([], dtype=np.int64)
+    yield np.array([3], dtype=np.int64)
+    yield np.array([5, 5, 5, 5], dtype=np.int64)  # adversarial: one key
+    yield np.array([2, 0, 1, 3], dtype=np.int64)  # collision-free
+    yield np.array([4, 1, 4, 2, 1, 4, 0], dtype=np.int64)
+    for _ in range(20):
+        n = int(rng.integers(0, 64))
+        yield rng.integers(0, 8, size=n).astype(np.int64)
+
+
+@pytest.mark.parametrize("keys", list(batches()), ids=lambda k: f"n{k.size}")
+def test_grouping_invariants(keys):
+    seg = segment(keys)
+    n = keys.size
+    # order is a permutation; the grouped view is key-sorted and stable.
+    assert sorted(seg.order.tolist()) == list(range(n))
+    np.testing.assert_array_equal(seg.sorted_keys, np.sort(keys, kind="stable"))
+    for key in np.unique(keys).tolist():
+        positions = seg.order[seg.sorted_keys == key]
+        np.testing.assert_array_equal(positions, np.flatnonzero(keys == key))
+    # first/last flag exactly the segment boundaries.
+    assert seg.num_segments == np.unique(keys).size
+    np.testing.assert_array_equal(seg.leaders, np.unique(keys))
+    assert int(seg.first.sum()) == seg.num_segments
+    assert int(seg.last.sum()) == seg.num_segments
+    assert seg.collision_free == (np.unique(keys).size == n)
+    # rank, mapped back to batch order, matches the brute-force count.
+    rank_by_position = np.zeros(n, dtype=np.int64)
+    rank_by_position[seg.order] = seg.rank
+    np.testing.assert_array_equal(rank_by_position, brute_rank(keys))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_segmented_scans_match_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 6, size=int(rng.integers(1, 80))).astype(np.int64)
+    mask = rng.random(keys.size) < 0.4
+    seg = segment(keys)
+
+    exclusive = seg.exclusive_count(mask)
+    totals = seg.segment_total(mask)
+    for s in range(seg.num_segments):
+        in_seg = np.flatnonzero(seg.segment_id == s)
+        seg_mask = mask[in_seg]
+        np.testing.assert_array_equal(
+            exclusive[in_seg], np.cumsum(seg_mask) - seg_mask
+        )
+        assert totals[s] == int(seg_mask.sum())
+
+
+def test_segment_total_empty():
+    seg = segment(np.array([], dtype=np.int64))
+    assert seg.segment_total(np.zeros(0, dtype=bool)).size == 0
+    assert seg.exclusive_count(np.zeros(0, dtype=bool)).size == 0
+
+
+@pytest.mark.parametrize("keys", list(batches()), ids=lambda k: f"n{k.size}")
+def test_rounds_match_legacy_decomposition(keys):
+    new = [r.tolist() for r in segment(keys).rounds()]
+    old = [r.tolist() for r in legacy_rounds(keys)]
+    assert new == old
+
+
+def test_rounds_partition_and_distinctness():
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 5, size=200).astype(np.int64)
+    seen = []
+    for chunk in segment(keys).rounds():
+        round_keys = keys[chunk]
+        assert np.unique(round_keys).size == round_keys.size  # pairwise distinct
+        seen.extend(chunk.tolist())
+    assert sorted(seen) == list(range(keys.size))  # exact partition
+
+
+def test_all_same_key_rounds_are_singletons():
+    keys = np.full(9, 4, dtype=np.int64)
+    chunks = [c.tolist() for c in SegmentedBatch(keys).rounds()]
+    assert chunks == [[i] for i in range(9)]
