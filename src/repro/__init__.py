@@ -1,0 +1,9 @@
+"""Reproduction of 'A Case Against Hardware Managed DRAM Caches for
+NVRAM Based Systems' (ISPASS 2021), grown into a simulation platform.
+
+``__version__`` participates in the service layer's code-version salt
+(:func:`repro.service.versioning.code_version_salt`): bumping it
+invalidates every content-addressed result in a store.
+"""
+
+__version__ = "1.0.0"

@@ -13,6 +13,7 @@ from repro.analysis.core import Checker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exceptions import ExceptionChecker
 from repro.analysis.checkers.registration import RegistrationChecker
+from repro.analysis.checkers.service import ServiceChecker
 from repro.analysis.checkers.telemetry import TelemetryChecker
 from repro.analysis.checkers.units import UnitsChecker
 
@@ -22,6 +23,7 @@ ALL_CHECKERS: List[Type[Checker]] = [
     TelemetryChecker,
     ExceptionChecker,
     RegistrationChecker,
+    ServiceChecker,
 ]
 
 
@@ -40,6 +42,7 @@ __all__ = [
     "DeterminismChecker",
     "ExceptionChecker",
     "RegistrationChecker",
+    "ServiceChecker",
     "TelemetryChecker",
     "UnitsChecker",
     "checker_for",

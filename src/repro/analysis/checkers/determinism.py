@@ -6,7 +6,11 @@ RNG state.  Seeded generators (``np.random.default_rng(seed)``,
 ``random.Random(seed)``) are the approved constructs.
 
 CLI and bench modules (any module whose final component is ``cli`` or
-``bench``) are allowlisted: measuring host time is their job.
+``bench``) are allowlisted: measuring host time is their job.  So is
+the ``repro.service`` package — job latency, timeouts, and retry
+backoff are host-time concepts by definition; the simulations the
+service *runs* execute in forked workers whose code stays under this
+rule.
 """
 
 from __future__ import annotations
@@ -55,6 +59,10 @@ _SEEDED_STDLIB = {"Random"}
 #: Final module-name components whose job is host-time measurement.
 _ALLOWED_COMPONENTS = {"cli", "bench"}
 
+#: Packages whose job is host-time measurement (queueing latency,
+#: timeouts, retry backoff) rather than simulation.
+_ALLOWED_PACKAGES = ("repro.service",)
+
 
 class DeterminismChecker(Checker):
     rule = "DET001"
@@ -65,6 +73,11 @@ class DeterminismChecker(Checker):
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
         if module.module.rsplit(".", 1)[-1] in _ALLOWED_COMPONENTS:
+            return
+        if any(
+            module.module == pkg or module.module.startswith(pkg + ".")
+            for pkg in _ALLOWED_PACKAGES
+        ):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -1,7 +1,7 @@
 """REG001 — experiment modules are registered and sweep-ready.
 
-Cross-module rule: every ``experiments/fig*.py`` or
-``experiments/ablation.py`` module must
+Cross-module rule: every ``experiments/fig*.py``, ``table*.py``,
+``ablation.py``, ``dlrm.py``, and ``gpt.py`` module must
 
 * appear in the ``EXPERIMENTS`` dict of the sibling ``registry.py``
   (otherwise the CLI silently cannot run it), and
@@ -21,8 +21,11 @@ from repro.analysis.core import Checker, Finding, ModuleInfo, Project
 def _is_experiment_module(module: ModuleInfo) -> bool:
     path = module.path
     return path.parent.name == "experiments" and (
-        (path.name.startswith("fig") and path.name.endswith(".py"))
-        or path.name == "ablation.py"
+        (
+            path.name.endswith(".py")
+            and (path.name.startswith("fig") or path.name.startswith("table"))
+        )
+        or path.name in ("ablation.py", "dlrm.py", "gpt.py")
     )
 
 
@@ -60,8 +63,8 @@ def _declares_sweep_spec(module: ModuleInfo) -> bool:
 class RegistrationChecker(Checker):
     rule = "REG001"
     description = (
-        "every experiments/fig*.py and ablation.py is registered in the "
-        "CLI registry and declares a sweep_spec"
+        "every experiments/fig*.py, table*.py, ablation.py, dlrm.py and "
+        "gpt.py is registered in the CLI registry and declares a sweep_spec"
     )
 
     def check_project(self, project: Project) -> Iterable[Finding]:

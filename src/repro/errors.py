@@ -27,3 +27,28 @@ class InvariantError(SimulationError):
 
 class SolverError(ReproError):
     """The AutoTM placement solver failed to produce a feasible plan."""
+
+
+class ServiceError(ReproError):
+    """Base class for the simulation-service layer (:mod:`repro.service`)."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at capacity; the request was rejected.
+
+    Backpressure is explicit: callers (the HTTP front end, batch
+    submitters) see the rejection and decide whether to retry later —
+    the queue never grows without bound.
+    """
+
+
+class JobError(ServiceError):
+    """A job failed while executing (simulation error, worker crash)."""
+
+
+class JobTimeoutError(JobError):
+    """A job exceeded its per-job timeout and was cancelled."""
+
+
+class JobRejectedError(ServiceError):
+    """A request named an unknown experiment or carried bad parameters."""

@@ -5,14 +5,22 @@ Usage::
     repro-experiment list
     repro-experiment fig2 [--quick] [--jobs 4]
     repro-experiment all [--quick] [--jobs 4] [--bench BENCH_experiments.json]
+    repro-experiment all --quick --store ./results     # reuse cached results
+    repro-experiment serve --store ./results --port 8023 --workers 4
     repro-experiment fig4 --quick --trace out.trace.json --metrics out.prom
 
 ``--jobs N`` fans work across N worker processes: a single sweep-based
 experiment parallelizes its grid; ``all`` dispatches whole experiments
 in parallel.  Results are identical to a serial run — only wall-clock
 changes.  ``--bench`` writes a perf-trajectory JSON mapping each
-experiment to its wall-clock seconds (plus jobs/quick metadata) so
-successive commits can be compared.
+experiment to its wall-clock seconds (plus jobs/quick/code-version/git
+metadata) so successive commits can be compared.
+
+``--store DIR`` points batch runs at a content-addressed result store
+(:mod:`repro.service.store`): experiments whose request key is already
+present are served from disk instead of re-simulated, and fresh runs
+are persisted for next time.  ``serve`` starts the long-running
+simulation service (:mod:`repro.service`) on the same store.
 
 ``--trace`` writes a Chrome trace-event JSON (open it in Perfetto or
 ``chrome://tracing``; a ``.jsonl`` suffix switches to one-span-per-line
@@ -34,7 +42,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import obs
 from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, registered_names, run_experiment
 
 
 def _run_named(name: str, quick: bool) -> Tuple[ExperimentResult, float]:
@@ -44,7 +52,13 @@ def _run_named(name: str, quick: bool) -> Tuple[ExperimentResult, float]:
     return result, time.time() - start
 
 
-def _emit(result: ExperimentResult, seconds: float, args, bench: Dict[str, float]) -> None:
+def _emit(
+    result: ExperimentResult,
+    seconds: float,
+    args,
+    bench: Dict[str, float],
+    cached: bool = False,
+) -> None:
     """Print one finished experiment and record its wall-clock."""
     print(result.render())
     if args.json:
@@ -55,11 +69,24 @@ def _emit(result: ExperimentResult, seconds: float, args, bench: Dict[str, float
         written = export_result(result, directory / f"{result.name}.json")
         print(f"[exported {written}]")
     bench[result.name] = seconds
-    print(f"\n[{result.name} completed in {seconds:.1f}s]\n")
+    suffix = " (served from store)" if cached else ""
+    print(f"\n[{result.name} completed in {seconds:.1f}s{suffix}]\n")
 
 
-def _write_bench(path: str, bench: Dict[str, float], args, total_seconds: float) -> Path:
-    """Write the perf-trajectory file: per-experiment seconds + metadata."""
+def _write_bench(
+    path: str,
+    bench: Dict[str, float],
+    args,
+    total_seconds: float,
+    cached_names: List[str],
+) -> Path:
+    """Write the perf-trajectory file: per-experiment seconds + metadata.
+
+    ``code_version`` (the store salt) and ``git_sha`` make every
+    trajectory point attributable to the exact tree that produced it.
+    """
+    from repro.service.versioning import code_version_salt, git_sha
+
     payload = {
         "experiments": {name: round(seconds, 3) for name, seconds in bench.items()},
         "meta": {
@@ -67,12 +94,51 @@ def _write_bench(path: str, bench: Dict[str, float], args, total_seconds: float)
             "quick": bool(args.quick),
             "total_seconds": round(total_seconds, 3),
             "unix_time": int(time.time()),
+            "code_version": code_version_salt(),
+            "git_sha": git_sha(),
+            "served_from_store": sorted(cached_names),
         },
     }
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return out
+
+
+def _serve(args) -> int:
+    """Run the long-lived simulation service until interrupted."""
+    from repro.service import JobQueue, ResultStore, SimulationService
+    from repro.service.http import make_server
+
+    store_dir = args.store or "repro-store"
+    service = SimulationService(
+        ResultStore(store_dir),
+        JobQueue(capacity=args.queue_capacity),
+        workers=args.workers,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    service.start()
+    print(f"[serving on http://{host}:{port}  store={store_dir}  "
+          f"workers={args.workers}  queue={args.queue_capacity}]")
+    print("[POST /jobs | GET /jobs/<id> | GET /results/<key> | "
+          "GET /healthz | GET /metrics]")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[shutting down: draining queue]")
+    finally:
+        # serve_forever has exited by now, so shutdown() returns
+        # immediately; drain what was already admitted, then flush.
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=True, timeout=60.0)
+        if args.metrics:
+            sink = obs.PrometheusFileSink(args.metrics)
+            service.telemetry.metrics.sinks.append(sink)
+            service.telemetry.metrics.flush()
+            print(f"[metrics -> {sink.path}]")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,7 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "name",
-        help="experiment name, 'all', or 'list'",
+        help="experiment name, 'all', 'list', or 'serve'",
     )
     parser.add_argument(
         "--quick",
@@ -108,11 +174,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also export each result as JSON into this directory",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help=(
+            "content-addressed result store: serve already-computed "
+            "experiments from DIR instead of re-simulating, and persist "
+            "fresh results there (also the store 'serve' uses)"
+        ),
+    )
+    parser.add_argument(
         "--bench",
         metavar="FILE",
         help=(
             "write a perf-trajectory JSON ({experiment: seconds} plus "
-            "jobs/quick metadata) here, e.g. BENCH_experiments.json"
+            "jobs/quick/code-version metadata) here, "
+            "e.g. BENCH_experiments.json"
         ),
     )
     parser.add_argument(
@@ -133,20 +209,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="LEVEL",
         help="enable structured logging at LEVEL (debug, info, warning, ...)",
     )
+    serve_group = parser.add_argument_group("serve mode")
+    serve_group.add_argument(
+        "--host", default="127.0.0.1", help="bind address (serve mode)"
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=8023, help="bind port, 0 = ephemeral (serve mode)"
+    )
+    serve_group.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="service worker threads (serve mode)",
+    )
+    serve_group.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="pending-job bound before requests are rejected (serve mode)",
+    )
     args = parser.parse_args(argv)
 
     if args.name == "list":
-        for name in sorted(EXPERIMENTS):
+        for name in registered_names():
             print(name)
         return 0
 
-    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
-    if args.name != "all" and args.name not in EXPERIMENTS:
+    if args.name not in EXPERIMENTS and args.name not in ("all", "serve"):
+        # Same contract as --jobs validation: argparse error, exit code
+        # 2, and the caller learns exactly what *is* registered.
         parser.error(
-            f"unknown experiment {args.name!r}; run 'repro-experiment list'"
+            f"unknown experiment {args.name!r}; "
+            f"registered: {', '.join(registered_names())} (or 'all', 'serve')"
         )
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_capacity < 1:
+        parser.error(f"--queue-capacity must be >= 1, got {args.queue_capacity}")
 
     if args.log_level:
         try:
@@ -154,32 +251,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ValueError as error:
             parser.error(str(error))
 
+    if args.name == "serve":
+        return _serve(args)
+
+    names = registered_names() if args.name == "all" else [args.name]
+
+    store = None
+    specs = {}
+    if args.store:
+        from repro.service.store import RequestSpec, ResultStore
+
+        store = ResultStore(args.store)
+        specs = {name: RequestSpec.build(name, quick=args.quick) for name in names}
+
     telemetry = None
     if args.trace or args.metrics:
         telemetry = obs.enable()
 
     bench: Dict[str, float] = {}
+    cached_names: List[str] = []
     run_start = time.time()
     try:
-        if len(names) > 1 and args.jobs > 1:
+        # Store pass: anything already computed for this (name, quick,
+        # code version) is served from disk and dropped from the grid.
+        finished: Dict[str, Tuple[ExperimentResult, float, bool]] = {}
+        to_run = list(names)
+        if store is not None:
+            for name in names:
+                hit = store.get(specs[name].key)
+                if hit is not None:
+                    finished[name] = (hit.result, 0.0, True)
+                    cached_names.append(name)
+            to_run = [name for name in names if name not in finished]
+
+        if len(to_run) > 1 and args.jobs > 1:
             # 'all': the experiment list is itself a sweep — dispatch
             # whole experiments across the pool (inner sweeps stay
             # serial so the machine isn't oversubscribed).
             spec = SweepSpec.grid(
                 "experiments",
                 _run_named,
-                axes={"name": names},
+                axes={"name": to_run},
                 common=dict(quick=args.quick),
             )
-            for result, seconds in run_sweep(spec, jobs=args.jobs):
-                _emit(result, seconds, args, bench)
+            for name, (result, seconds) in zip(to_run, run_sweep(spec, jobs=args.jobs)):
+                finished[name] = (result, seconds, False)
         else:
-            for name in names:
+            for name in to_run:
                 start = time.time()
                 result = run_experiment(name, quick=args.quick, jobs=args.jobs)
-                _emit(result, time.time() - start, args, bench)
+                finished[name] = (result, time.time() - start, False)
+
+        for name in names:
+            result, seconds, cached = finished[name]
+            if store is not None and not cached:
+                store.put(result=result, spec=specs[name], meta={"seconds": seconds})
+            _emit(result, seconds, args, bench, cached=cached)
+        if store is not None:
+            store.flush()
         if args.bench:
-            written = _write_bench(args.bench, bench, args, time.time() - run_start)
+            written = _write_bench(
+                args.bench, bench, args, time.time() - run_start, cached_names
+            )
             print(f"[bench -> {written}]")
     finally:
         if telemetry is not None:

@@ -6,17 +6,26 @@ but its evaluation stops at CNNs and graphs.  This experiment completes
 the triptych: Zipf-skewed embedding gathers over tables ~5x the DRAM
 cache, in 2LM vs Bandana-style popularity placement vs bare NVRAM, for
 inference and training.
+
+The six (phase, mode) cells are independent given the shared model and
+trace, so they are declared as a :class:`~repro.exec.SweepSpec` grid;
+the model/trace/placement setup is memoized at module scope and
+pre-warmed before the sweep so forked workers inherit it.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from functools import lru_cache
+from typing import Dict, Tuple
 
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
-from repro.experiments.platform import cnn_platform_for
+from repro.experiments.platform import PlatformConfig, cnn_platform_for
 from repro.perf.report import render_table
 from repro.recsys import (
     EmbeddingModel,
+    HotRowPlacement,
+    LookupTrace,
     generate_trace,
     plan_hot_rows,
     run_recsys,
@@ -26,21 +35,63 @@ from repro.units import format_bytes
 #: Placement budget: most of one socket's DRAM, as Bandana would use.
 BUDGET_FRACTION = 0.9
 
+PHASES = ("inference", "training")
+MODES = ("2lm", "bandana", "nvram")
 
-def run(quick: bool = False) -> ExperimentResult:
+
+@lru_cache(maxsize=None)
+def _setup(
+    quick: bool,
+) -> Tuple[PlatformConfig, EmbeddingModel, LookupTrace, HotRowPlacement]:
+    """Shared fixtures: platform, model, lookup trace, hot-row placement."""
     platform = cnn_platform_for(quick)
     # Size the model ~5x the DRAM cache, mirroring the paper's
     # footprint-to-cache ratios.
-    rows = int(
-        5 * platform.socket.dram_capacity / (26 * 64 * 4)
-    )
+    rows = int(5 * platform.socket.dram_capacity / (26 * 64 * 4))
     model = EmbeddingModel.dlrm_like(num_tables=26, rows_per_table=max(1024, rows))
     batches = 8 if quick else 30
-    profile = generate_trace(model, batch_size=128, num_batches=max(4, batches // 3), seed=1)
+    profile = generate_trace(
+        model, batch_size=128, num_batches=max(4, batches // 3), seed=1
+    )
     trace = generate_trace(model, batch_size=128, num_batches=batches, seed=2)
     placement = plan_hot_rows(
         model, profile, int(platform.socket.dram_capacity * BUDGET_FRACTION)
     )
+    return platform, model, trace, placement
+
+
+def phase_mode_point(phase: str, mode: str, quick: bool) -> Dict[str, float]:
+    """One grid cell: run one placement mode for one phase."""
+    platform, model, trace, placement = _setup(quick)
+    kwargs = {"placement": placement} if mode == "bandana" else {}
+    run_result = run_recsys(
+        model, trace, platform, mode=mode, training=(phase == "training"), **kwargs
+    )
+    return {
+        "samples_per_second": run_result.samples_per_second,
+        "hit_fraction": run_result.dram_hit_fraction,
+        "amplification": run_result.traffic.amplification,
+        "nvram_writes": run_result.traffic.nvram_writes,
+        "nvram_reads": run_result.traffic.nvram_reads,
+    }
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    """The phase x mode grid (mode varies fastest, as the tables render)."""
+    return SweepSpec.grid(
+        "dlrm",
+        phase_mode_point,
+        axes={"phase": PHASES, "mode": MODES},
+        common=dict(quick=quick),
+    )
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    # Pre-warm the shared fixtures: the header line needs them, and
+    # forked sweep workers then inherit the memo instead of redoing it.
+    platform, model, trace, placement = _setup(quick)
+    spec = sweep_spec(quick)
+    values = run_sweep(spec, jobs=jobs)
 
     result = ExperimentResult(
         name="dlrm",
@@ -53,35 +104,21 @@ def run(quick: bool = False) -> ExperimentResult:
         f"(expected DRAM hit fraction {placement.expected_hit_fraction(trace):.2f})"
     )
 
-    data: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for phase, training in (("inference", False), ("training", True)):
-        rows_out = []
-        data[phase] = {}
-        for mode, kwargs in (
-            ("2lm", {}),
-            ("bandana", {"placement": placement}),
-            ("nvram", {}),
-        ):
-            run_result = run_recsys(
-                model, trace, platform, mode=mode, training=training, **kwargs
-            )
-            throughput = run_result.samples_per_second
-            rows_out.append(
-                [
-                    mode,
-                    f"{throughput:.0f}",
-                    f"{run_result.dram_hit_fraction:.2f}",
-                    f"{run_result.traffic.amplification:.2f}x",
-                    f"{run_result.traffic.nvram_writes}",
-                ]
-            )
-            data[phase][mode] = {
-                "samples_per_second": throughput,
-                "hit_fraction": run_result.dram_hit_fraction,
-                "amplification": run_result.traffic.amplification,
-                "nvram_writes": run_result.traffic.nvram_writes,
-                "nvram_reads": run_result.traffic.nvram_reads,
-            }
+    data: Dict[str, Dict[str, Dict[str, float]]] = {phase: {} for phase in PHASES}
+    for point, metrics in zip(spec.points, values):
+        data[point["phase"]][point["mode"]] = metrics
+
+    for phase in PHASES:
+        rows_out = [
+            [
+                mode,
+                f"{data[phase][mode]['samples_per_second']:.0f}",
+                f"{data[phase][mode]['hit_fraction']:.2f}",
+                f"{data[phase][mode]['amplification']:.2f}x",
+                f"{data[phase][mode]['nvram_writes']}",
+            ]
+            for mode in MODES
+        ]
         result.add(
             render_table(
                 ["mode", "samples/s", "DRAM hit", "amp", "NVRAM write lines"],
@@ -90,7 +127,7 @@ def run(quick: bool = False) -> ExperimentResult:
             )
         )
 
-    for phase in data:
+    for phase in PHASES:
         data[phase]["bandana_speedup_over_2lm"] = (
             data[phase]["bandana"]["samples_per_second"]
             / data[phase]["2lm"]["samples_per_second"]

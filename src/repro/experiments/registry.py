@@ -47,12 +47,17 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def registered_names() -> list[str]:
+    """Every registered experiment name, sorted (for CLI/service errors)."""
+    return sorted(EXPERIMENTS)
+
+
 def get_experiment(name: str) -> Callable[..., ExperimentResult]:
     try:
         return EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
-            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+            f"unknown experiment {name!r}; available: {', '.join(registered_names())}"
         ) from None
 
 

@@ -4,6 +4,11 @@ Reproduces the paper's priming methodology (Section IV-A): hits from a
 cache-resident array, clean/dirty misses from aliasing arrays, and the
 DDO from a read-then-write-back sequence — then reads the access counts
 off the simulated IMC counters.
+
+Each request-outcome scenario builds its own cache and is independent
+of the others, so the outcome list is declared as a
+:class:`~repro.exec.SweepSpec` grid: ``--jobs`` fans scenarios across
+workers and the service layer schedules the table like any figure.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from repro.cache import (
     DirectMappedCache,
     RequestOutcome,
 )
+from repro.errors import InvariantError
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import cnn_platform
 from repro.memsys.counters import Traffic
@@ -54,27 +61,44 @@ def _scenario(cache: DirectMappedCache, outcome: RequestOutcome) -> Traffic:
         cache.llc_read(target)
         traffic, _ = cache.llc_write(target)
     else:  # pragma: no cover - exhaustive over the enum
-        raise AssertionError(outcome)
+        raise InvariantError(f"unhandled outcome {outcome}")
     return traffic
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def outcome_point(outcome: str, quick: bool) -> Dict[str, float]:
+    """One grid point: per-request access counts for one outcome."""
     platform = cnn_platform()
     cache = DirectMappedCache(max(platform.socket.dram_capacity, _REQUESTS * 128))
+    traffic = _scenario(cache, RequestOutcome(outcome))
+    return {
+        "dram_reads": traffic.dram_reads / _REQUESTS,
+        "dram_writes": traffic.dram_writes / _REQUESTS,
+        "nvram_reads": traffic.nvram_reads / _REQUESTS,
+        "nvram_writes": traffic.nvram_writes / _REQUESTS,
+        "amplification": traffic.amplification,
+    }
 
-    measured: Dict[RequestOutcome, Dict[str, float]] = {}
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    """One point per request outcome, in the paper's row order."""
+    return SweepSpec.from_points(
+        "table1",
+        outcome_point,
+        [dict(outcome=outcome.value) for outcome in RequestOutcome],
+        common=dict(quick=quick),
+    )
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    spec = sweep_spec(quick)
+    values = run_sweep(spec, jobs=jobs)
+
+    measured: Dict[str, Dict[str, float]] = {}
     rows = []
     matches_paper = True
-    for outcome in RequestOutcome:
-        traffic = _scenario(cache, outcome)
-        per_request = {
-            "dram_reads": traffic.dram_reads / _REQUESTS,
-            "dram_writes": traffic.dram_writes / _REQUESTS,
-            "nvram_reads": traffic.nvram_reads / _REQUESTS,
-            "nvram_writes": traffic.nvram_writes / _REQUESTS,
-            "amplification": traffic.amplification,
-        }
-        measured[outcome] = per_request
+    for point, per_request in zip(spec.points, values):
+        outcome = RequestOutcome(point["outcome"])
+        measured[outcome.value] = per_request
         expected = AMPLIFICATION_TABLE[outcome]
         if per_request["amplification"] != expected.amplification:
             matches_paper = False
@@ -101,7 +125,7 @@ def run(quick: bool = False) -> ExperimentResult:
         )
     )
     result.data = {
-        "measured": {o.value: m for o, m in measured.items()},
+        "measured": measured,
         "matches_paper": matches_paper,
     }
     return result

@@ -41,6 +41,7 @@ from repro.obs.metrics import (
     HistogramSnapshot,
     InMemorySink,
     JsonlFileSink,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     MetricsSnapshot,
     PrometheusFileSink,
@@ -68,6 +69,7 @@ __all__ = [
     "HistogramSnapshot",
     "InMemorySink",
     "JsonlFileSink",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_TELEMETRY",

@@ -39,6 +39,10 @@ SIZE_BUCKETS = tuple(
 )
 #: Default bucket boundaries for rate-like [0, 1] metrics (hit rate).
 RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+#: Default bucket boundaries for wall-clock latencies in seconds
+#: (service job execution: sub-10ms cache hits up to minutes-long
+#: full-fidelity simulations).
+LATENCY_BUCKETS = (0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 30.0, 120.0)
 
 
 @dataclass(frozen=True)

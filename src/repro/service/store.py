@@ -1,0 +1,221 @@
+"""Content-addressed result store: simulation results keyed by request.
+
+The paper's core economic argument (Section IV) is that hardware redoes
+work — dead write-backs, dirty-miss amplification — that software
+management can simply skip.  This store applies the same economics to
+the reproduction itself: every experiment run is deterministic, so its
+result is a pure function of ``(experiment, params, quick, code
+version)``.  Hash that request into a stable key, persist the result
+once, and every identical future request is an O(1) file read instead
+of a re-simulation.
+
+Keys are SHA-256 over a *canonical* JSON encoding of the request
+(sorted keys, no whitespace), so the same request always produces the
+same bytes and therefore the same key.  The code-version salt
+(:mod:`repro.service.versioning`) is part of the request: editing
+simulation code moves every key, so a store can never serve a result
+the current code would not reproduce.
+
+Layout on disk::
+
+    <root>/ab/<key>.json     one result payload per request key
+    <root>/index.jsonl       append-only log of stored keys (flushed)
+
+Writes are atomic (temp file + rename) so a concurrently-serving HTTP
+thread never observes a half-written payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.perf.export import to_jsonable
+from repro.service.versioning import code_version_salt
+
+#: Bump when the payload schema changes; part of the on-disk payload
+#: (not the key) so old stores remain readable or clearly rejected.
+STORE_FORMAT = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Byte-stable JSON: sorted keys, minimal separators, pure ASCII."""
+    return json.dumps(
+        to_jsonable(value), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One cacheable simulation request.
+
+    ``params`` are the extra keyword arguments beyond ``quick`` (must be
+    plain JSON-able data); ``salt`` defaults to the current tree's
+    code-version salt so results can never outlive the code.
+    """
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    quick: bool = False
+    salt: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        experiment: str,
+        params: Optional[Mapping[str, Any]] = None,
+        quick: bool = False,
+        salt: Optional[str] = None,
+    ) -> "RequestSpec":
+        return cls(
+            experiment=experiment,
+            params=dict(params or {}),
+            quick=bool(quick),
+            salt=salt if salt is not None else code_version_salt(),
+        )
+
+    def canonical(self) -> str:
+        """The canonical request encoding that is hashed into the key."""
+        return canonical_json(
+            {
+                "experiment": self.experiment,
+                "params": dict(self.params),
+                "quick": self.quick,
+                "salt": self.salt,
+            }
+        )
+
+    @property
+    def key(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+
+@dataclass
+class StoredResult:
+    """One payload read back from the store."""
+
+    key: str
+    request: Dict[str, Any]
+    result: ExperimentResult
+    meta: Dict[str, Any]
+
+
+class ResultStore:
+    """Disk-backed content-addressed store of experiment results.
+
+    ``clock`` is injected (a callable returning seconds) so tests and
+    deterministic replays control the ``created`` metadata; the default
+    is the host wall-clock, which is provenance, not simulation input.
+    """
+
+    def __init__(
+        self, root: "str | Path", clock: Callable[[], float] = time.time
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._pending_index: List[Dict[str, Any]] = []
+
+    # -- paths -------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.jsonl"
+
+    # -- lookup ------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        result = ExperimentResult(
+            name=payload["result"]["name"],
+            title=payload["result"]["title"],
+            data=payload["result"]["data"],
+            sections=list(payload["result"]["sections"]),
+        )
+        return StoredResult(
+            key=payload["key"],
+            request=payload["request"],
+            result=result,
+            meta=payload.get("meta", {}),
+        )
+
+    def get_spec(self, spec: RequestSpec) -> Optional[StoredResult]:
+        return self.get(spec.key)
+
+    # -- storage -----------------------------------------------------
+
+    def put(
+        self,
+        spec: RequestSpec,
+        result: ExperimentResult,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> str:
+        """Persist one result under its request key; returns the key."""
+        key = spec.key
+        payload = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "request": json.loads(spec.canonical()),
+            "result": {
+                "name": result.name,
+                "title": result.title,
+                "data": to_jsonable(result.data),
+                "sections": list(result.sections),
+            },
+            "meta": {"created_unix": round(self._clock(), 3), **dict(meta or {})},
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        self._pending_index.append(
+            {
+                "key": key,
+                "experiment": spec.experiment,
+                "quick": spec.quick,
+                "created_unix": payload["meta"]["created_unix"],
+            }
+        )
+        return key
+
+    def flush(self) -> int:
+        """Append pending index entries to ``index.jsonl``; returns count."""
+        if not self._pending_index:
+            return 0
+        lines = [json.dumps(entry, sort_keys=True) for entry in self._pending_index]
+        with self.index_path.open("a") as handle:
+            handle.write("\n".join(lines) + "\n")
+        flushed = len(self._pending_index)
+        self._pending_index.clear()
+        return flushed
+
+    # -- introspection -----------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """Every stored key, from the on-disk payload files."""
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

@@ -6,6 +6,7 @@ from repro.analysis import run_analysis
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exceptions import ExceptionChecker
 from repro.analysis.checkers.registration import RegistrationChecker
+from repro.analysis.checkers.service import ServiceChecker
 from repro.analysis.checkers.telemetry import TelemetryChecker
 from repro.analysis.checkers.units import UnitsChecker
 
@@ -88,6 +89,16 @@ class TestDeterminism:
             DeterminismChecker(),
         )
         assert findings == []
+
+    def test_service_package_allowlisted(self, tmp_path):
+        # Job latency / timeouts / backoff are host-time by definition.
+        path = tmp_path / "repro" / "service" / "queue.py"
+        path.parent.mkdir(parents=True)
+        for parent in (tmp_path / "repro", tmp_path / "repro" / "service"):
+            (parent / "__init__.py").write_text("")
+        path.write_text("import time\n\n\ndef now():\n    return time.monotonic()\n")
+        report = run_analysis([path], checkers=[DeterminismChecker()])
+        assert report.findings == []
 
 
 class TestUnits:
@@ -291,6 +302,93 @@ class TestRegistration:
         )
         report = run_analysis([pkg], checkers=[RegistrationChecker()])
         assert report.findings == []
+
+
+class TestService:
+    def test_flags_blocking_calls_in_handler(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "http.py",
+            """\
+            import time
+            from http.server import BaseHTTPRequestHandler
+
+            from repro.experiments.registry import run_experiment
+
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_POST(self):
+                    time.sleep(1.0)
+                    result = run_experiment("fig2", quick=True)
+                    self.respond(result)
+            """,
+            ServiceChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("SVC001", 9),
+            ("SVC001", 10),
+        ]
+        assert "time.sleep" in findings[0].message
+        assert "job queue" in findings[0].message
+
+    def test_blocking_calls_outside_handlers_pass(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "workers.py",
+            """\
+            from repro.experiments.registry import run_experiment
+
+
+            def execute(job):
+                return run_experiment(job.name, quick=job.quick)
+            """,
+            ServiceChecker(),
+        )
+        assert findings == []
+
+    def test_flags_swallowed_job_error(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "loop.py",
+            """\
+            from repro.errors import JobError, JobTimeoutError
+
+
+            def bad(job):
+                try:
+                    job.run()
+                except JobTimeoutError:
+                    pass
+                try:
+                    job.run()
+                except (ValueError, JobError):
+                    ...
+            """,
+            ServiceChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("SVC001", 7),
+            ("SVC001", 11),
+        ]
+        assert "swallows" in findings[0].message
+
+    def test_translated_job_error_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "loop.py",
+            """\
+            from repro.errors import JobError
+
+
+            def good(job, service):
+                try:
+                    job.run()
+                except JobError as error:
+                    service.job_failed(job, error)
+            """,
+            ServiceChecker(),
+        )
+        assert findings == []
 
 
 class TestSuppressions:

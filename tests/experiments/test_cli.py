@@ -22,8 +22,16 @@ class TestCLI:
         assert "completed in" in out
 
     def test_unknown_name_errors(self, capsys):
-        with pytest.raises(SystemExit):
+        # argparse contract: exit code 2 and the registered names in the
+        # error message, so a typo is self-correcting.
+        with pytest.raises(SystemExit) as excinfo:
             main(["fig99"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        for name in ("fig2", "table1", "table2", "dlrm", "gpt", "check"):
+            assert name in err
+        assert "'serve'" in err
 
     def test_bad_jobs_errors(self, capsys):
         with pytest.raises(SystemExit):
@@ -45,3 +53,29 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Figure 2" in out
         assert "completed in" in out
+
+    def test_store_serves_second_run_from_disk(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["table1", "--quick", "--store", str(store)]) == 0
+        first = capsys.readouterr().out
+        assert "(served from store)" not in first
+        assert store.is_dir()
+
+        assert main(["table1", "--quick", "--store", str(store)]) == 0
+        second = capsys.readouterr().out
+        assert "(served from store)" in second
+        # The cached run still renders the full table.
+        assert "Table I" in second
+
+    def test_bench_records_code_version_and_store_hits(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        out = tmp_path / "BENCH_experiments.json"
+        assert main(["table1", "--quick", "--store", str(store)]) == 0
+        assert (
+            main(["table1", "--quick", "--store", str(store), "--bench", str(out)])
+            == 0
+        )
+        meta = json.loads(out.read_text())["meta"]
+        assert isinstance(meta["code_version"], str) and len(meta["code_version"]) == 16
+        assert meta["git_sha"] is None or isinstance(meta["git_sha"], str)
+        assert meta["served_from_store"] == ["table1"]

@@ -57,10 +57,15 @@ class TestJobsPlumbing:
             assert supports_jobs(name), name
 
     def test_non_sweep_experiment_ignores_jobs(self):
-        # table1 has no grid; jobs must be silently dropped, not crash.
-        assert not supports_jobs("table1")
-        result = run_experiment("table1", quick=True, jobs=4)
-        assert result.name == "table1"
+        # check has no grid; jobs must be silently dropped, not crash.
+        assert not supports_jobs("check")
+        result = run_experiment("check", quick=True, jobs=4)
+        assert result.name == "check"
+
+    def test_tables_are_sweepable(self):
+        # Tables and extension studies now declare SweepSpec grids too.
+        for name in ("table1", "table2", "dlrm", "gpt"):
+            assert supports_jobs(name), name
 
     def test_fig6_single_point_grid(self):
         spec = fig6.sweep_spec(quick=True)

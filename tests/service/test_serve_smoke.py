@@ -1,0 +1,165 @@
+"""End-to-end service smoke test over real HTTP on an ephemeral port."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.service import JobQueue, ResultStore, SimulationService
+from repro.service.http import make_server
+
+#: How long the stub "simulation" takes; the cached path must beat the
+#: computed path by >= 10x, so keep this comfortably above HTTP noise.
+SIMULATED_SECONDS = 0.3
+
+POLL_DEADLINE = 30.0
+
+
+def sleepy_experiment(quick=False):
+    time.sleep(SIMULATED_SECONDS)
+    result = ExperimentResult(name="sleepy", title="a slow stub")
+    result.add("slept, then rendered")
+    result.data = {"quick": quick, "answer": 42}
+    return result
+
+
+def http(method, url, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}")
+
+
+def get_text(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode()
+
+
+@pytest.fixture
+def served(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    service = SimulationService(
+        store,
+        JobQueue(capacity=8),
+        experiments={"sleepy": sleepy_experiment},
+        workers=1,
+        salt="s" * 16,
+    )
+    server = make_server(service, port=0)  # ephemeral port
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    try:
+        yield service, f"http://{host}:{port}", tmp_path / "store"
+    finally:
+        server.shutdown()
+        server.server_close()
+        if not service.queue.closed:
+            service.shutdown(drain=False, timeout=10.0)
+        thread.join(timeout=5)
+
+
+def poll_until_done(base, job_id):
+    deadline = time.monotonic() + POLL_DEADLINE
+    while time.monotonic() < deadline:
+        status, payload = http("GET", f"{base}/jobs/{job_id}")
+        assert status == 200
+        if payload["state"] in ("succeeded", "failed", "cancelled"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish within {POLL_DEADLINE}s")
+
+
+class TestServeSmoke:
+    def test_full_lifecycle_cache_hit_and_graceful_shutdown(self, served):
+        service, base, store_root = served
+
+        status, health = http("GET", f"{base}/healthz")
+        assert (status, health["status"]) == (200, "ok")
+        assert health["workers"] == 1
+        assert health["accepting"] is True
+
+        # First submission computes: accepted, then polled to success.
+        first_started = time.monotonic()
+        status, accepted = http(
+            "POST", f"{base}/jobs", {"experiment": "sleepy", "quick": True}
+        )
+        assert status == 202
+        assert accepted["status"] == "accepted"
+        job = poll_until_done(base, accepted["job"]["id"])
+        first_latency = time.monotonic() - first_started
+        assert job["state"] == "succeeded"
+        assert first_latency >= SIMULATED_SECONDS
+
+        # Resubmitting the identical request is served from the store.
+        cached_started = time.monotonic()
+        status, cached = http(
+            "POST", f"{base}/jobs", {"experiment": "sleepy", "quick": True}
+        )
+        cached_latency = time.monotonic() - cached_started
+        assert status == 200
+        assert cached["status"] == "cached"
+        assert cached["key"] == accepted["key"]
+        assert cached_latency < first_latency / 10
+
+        # The stored payload is directly addressable.
+        status, stored = http("GET", f"{base}/results/{cached['key']}")
+        assert status == 200
+        assert stored["result"]["data"] == {"quick": True, "answer": 42}
+
+        # The cache hit shows up on the metrics endpoint.
+        status, metrics = get_text(f"{base}/metrics")
+        assert status == 200
+        assert "repro_service_cache_hits_total 1" in metrics
+        assert "repro_service_jobs_succeeded_total 1" in metrics
+        assert "repro_service_job_seconds_bucket" in metrics
+
+        # Graceful shutdown drains and flushes the store index.
+        service.shutdown(drain=True, timeout=30.0)
+        index = store_root / "index.jsonl"
+        assert index.is_file()
+        entries = [json.loads(line) for line in index.read_text().splitlines()]
+        assert [entry["experiment"] for entry in entries] == ["sleepy"]
+
+    def test_duplicate_inflight_submissions_share_one_job(self, served):
+        _, base, _ = served
+        status, first = http(
+            "POST", f"{base}/jobs", {"experiment": "sleepy", "quick": False}
+        )
+        assert status == 202
+        status, second = http(
+            "POST", f"{base}/jobs", {"experiment": "sleepy", "quick": False}
+        )
+        assert status == 202
+        assert second["status"] == "duplicate"
+        assert second["job"]["id"] == first["job"]["id"]
+        job = poll_until_done(base, first["job"]["id"])
+        assert job["state"] == "succeeded"
+
+    def test_bad_requests_are_rejected_not_queued(self, served):
+        _, base, _ = served
+        status, payload = http("POST", f"{base}/jobs", {"experiment": "nope"})
+        assert status == 400
+        assert "unknown experiment" in payload["error"]
+        assert "sleepy" in payload["error"]
+
+        status, payload = http(
+            "POST", f"{base}/jobs", {"experiment": "sleepy", "params": {"bogus": 1}}
+        )
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+        status, _ = http("GET", f"{base}/jobs/job-999999")
+        assert status == 404
+        status, _ = http("GET", f"{base}/results/{'0' * 64}")
+        assert status == 404
+        status, _ = http("GET", f"{base}/nope")
+        assert status == 404

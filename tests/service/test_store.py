@@ -1,0 +1,115 @@
+"""Content-addressed result store: round-trips and key stability."""
+
+import hashlib
+import json
+
+from repro.experiments.base import ExperimentResult
+from repro.service.store import RequestSpec, ResultStore, canonical_json
+from repro.service.versioning import code_version_salt
+
+
+def make_result(name="stub", value=1.5):
+    result = ExperimentResult(name=name, title="A stub result")
+    result.add("one rendered section")
+    result.data = {"metric": value, "nested": {"ok": True}}
+    return result
+
+
+class TestCanonicalJson:
+    def test_byte_stable_under_key_order(self):
+        a = canonical_json({"b": 1, "a": {"y": 2, "x": 3}})
+        b = canonical_json({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b == '{"a":{"x":3,"y":2},"b":1}'
+
+    def test_no_whitespace_and_ascii_only(self):
+        encoded = canonical_json({"k": "µ"})
+        assert " " not in encoded
+        assert encoded.isascii()
+
+
+class TestRequestSpec:
+    def test_key_is_sha256_of_canonical_encoding(self):
+        spec = RequestSpec.build("fig2", {"alpha": 2}, quick=True, salt="s" * 16)
+        expected = hashlib.sha256(spec.canonical().encode()).hexdigest()
+        assert spec.key == expected
+        # The canonical form itself is pinned: any change to it silently
+        # orphans every existing store.
+        assert spec.canonical() == (
+            '{"experiment":"fig2","params":{"alpha":2},'
+            '"quick":true,"salt":"ssssssssssssssss"}'
+        )
+
+    def test_key_stable_across_equivalent_builds(self):
+        salt = "f" * 16
+        one = RequestSpec.build("fig4", {"a": 1, "b": 2}, quick=False, salt=salt)
+        two = RequestSpec.build("fig4", {"b": 2, "a": 1}, quick=False, salt=salt)
+        assert one.key == two.key
+
+    def test_key_moves_with_every_request_component(self):
+        base = RequestSpec.build("fig4", {"a": 1}, quick=False, salt="x" * 16)
+        variants = [
+            RequestSpec.build("fig5", {"a": 1}, quick=False, salt="x" * 16),
+            RequestSpec.build("fig4", {"a": 2}, quick=False, salt="x" * 16),
+            RequestSpec.build("fig4", {"a": 1}, quick=True, salt="x" * 16),
+            RequestSpec.build("fig4", {"a": 1}, quick=False, salt="y" * 16),
+        ]
+        keys = {base.key} | {v.key for v in variants}
+        assert len(keys) == 5
+
+    def test_default_salt_is_current_code_version(self):
+        spec = RequestSpec.build("fig2")
+        assert spec.salt == code_version_salt()
+        assert len(spec.salt) == 16
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store", clock=lambda: 123.0)
+        spec = RequestSpec.build("stub", quick=True, salt="a" * 16)
+        key = store.put(spec, make_result(), meta={"seconds": 0.5})
+
+        assert key == spec.key
+        assert key in store
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.key == key
+        assert loaded.request["experiment"] == "stub"
+        assert loaded.result.name == "stub"
+        assert loaded.result.title == "A stub result"
+        assert loaded.result.data == {"metric": 1.5, "nested": {"ok": True}}
+        assert loaded.result.sections == ["one rendered section"]
+        assert loaded.result.render()  # reconstructed result still renders
+        assert loaded.meta["seconds"] == 0.5
+        assert loaded.meta["created_unix"] == 123.0
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("0" * 64) is None
+        assert "0" * 64 not in store
+
+    def test_layout_shards_by_key_prefix(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "ab" + "0" * 62
+        assert store.path_for(key) == tmp_path / "store" / "ab" / f"{key}.json"
+
+    def test_flush_appends_index(self, tmp_path):
+        store = ResultStore(tmp_path / "store", clock=lambda: 9.0)
+        for name in ("one", "two"):
+            store.put(RequestSpec.build(name, salt="b" * 16), make_result(name))
+        assert store.flush() == 2
+        assert store.flush() == 0  # idempotent once drained
+        lines = store.index_path.read_text().splitlines()
+        assert [json.loads(line)["experiment"] for line in lines] == ["one", "two"]
+        assert len(store) == 2
+        assert sorted(store.keys()) == sorted(
+            RequestSpec.build(name, salt="b" * 16).key for name in ("one", "two")
+        )
+
+    def test_overwrite_is_atomic_and_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = RequestSpec.build("stub", salt="c" * 16)
+        store.put(spec, make_result(value=1.0))
+        store.put(spec, make_result(value=2.0))
+        loaded = store.get(spec.key)
+        assert loaded.result.data["metric"] == 2.0
+        assert len(store) == 1
