@@ -8,6 +8,12 @@ Cross-module rule: every ``experiments/fig*.py``, ``table*.py``,
 * declare its grid as data with a top-level ``sweep_spec`` function
   (otherwise ``--jobs`` cannot parallelize it and its points never
   fan out).
+
+The results catalog adds the mirror obligation on the registry side:
+every experiment *name* registered in ``EXPERIMENTS`` must have a
+headline-metric hook — a matching key in the ``HEADLINES`` dict of the
+sibling ``headline.py`` — or its catalog rows and report pages render
+without metrics and nobody notices until the dashboard is blank.
 """
 
 from __future__ import annotations
@@ -53,6 +59,28 @@ def _registered_modules(registry: ModuleInfo) -> Optional[Set[str]]:
     return None
 
 
+def _string_dict_keys(module: ModuleInfo, name: str) -> Optional[Set[str]]:
+    """String keys of a module-level dict literal assigned to ``name``."""
+    for node in ast.walk(module.tree):
+        targets = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.target is not None:
+            targets = (node.target,)
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == name
+                and isinstance(node.value, ast.Dict)
+            ):
+                return {
+                    key.value
+                    for key in node.value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+    return None
+
+
 def _declares_sweep_spec(module: ModuleInfo) -> bool:
     return any(
         isinstance(node, ast.FunctionDef) and node.name == "sweep_spec"
@@ -64,7 +92,8 @@ class RegistrationChecker(Checker):
     rule = "REG001"
     description = (
         "every experiments/fig*.py, table*.py, ablation.py, dlrm.py and "
-        "gpt.py is registered in the CLI registry and declares a sweep_spec"
+        "gpt.py is registered in the CLI registry and declares a sweep_spec; "
+        "every registered name has a HEADLINES hook for the catalog"
     )
 
     def check_project(self, project: Project) -> Iterable[Finding]:
@@ -74,6 +103,10 @@ class RegistrationChecker(Checker):
         registries = {
             module.path.parent: module
             for module in project.find(lambda m: m.path.name == "registry.py")
+        }
+        headlines = {
+            module.path.parent: module
+            for module in project.find(lambda m: m.path.name == "headline.py")
         }
         for module in candidates:
             registry = registries.get(module.path.parent)
@@ -101,3 +134,32 @@ class RegistrationChecker(Checker):
                     "experiment module declares no top-level sweep_spec(); "
                     "declare its grid as a SweepSpec so --jobs can fan it out",
                 )
+        for parent, registry in sorted(registries.items()):
+            yield from self._check_headline_coverage(
+                registry, headlines.get(parent)
+            )
+
+    def _check_headline_coverage(
+        self, registry: ModuleInfo, headline: Optional[ModuleInfo]
+    ) -> Iterable[Finding]:
+        registered = _string_dict_keys(registry, "EXPERIMENTS")
+        if not registered:
+            return
+        if headline is None:
+            yield self.finding(
+                registry,
+                registry.tree,
+                "registry has no sibling headline.py in the scan; every "
+                "registered experiment needs a headline-metric hook for "
+                "the results catalog",
+            )
+            return
+        hooks = _string_dict_keys(headline, "HEADLINES") or set()
+        for name in sorted(registered - hooks):
+            yield self.finding(
+                headline,
+                headline.tree,
+                f"registered experiment {name!r} has no hook in the "
+                f"HEADLINES dict; its catalog rows and report page would "
+                "render without metrics",
+            )

@@ -122,7 +122,7 @@ def _serve(args) -> int:
     print(f"[serving on http://{host}:{port}  store={store_dir}  "
           f"workers={args.workers}  queue={args.queue_capacity}]")
     print("[POST /jobs | GET /jobs/<id> | GET /results/<key> | "
-          "GET /healthz | GET /metrics]")
+          "GET /catalog | GET /reports/ | GET /healthz | GET /metrics]")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

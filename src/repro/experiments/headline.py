@@ -1,0 +1,254 @@
+"""Headline metrics: the few numbers that summarize each experiment.
+
+``ExperimentResult.data`` is deliberately rich — full grids, traces,
+per-series arrays.  The results catalog (:mod:`repro.service.catalog`)
+and the report renderer (:mod:`repro.report`) need the opposite: a
+small, flat ``{metric: number}`` view per run, stable enough to chart
+across commits.  This module is that projection.
+
+Every registered experiment has an entry in :data:`HEADLINES` (REG001
+enforces coverage): a hook that digs its headline numbers out of the
+experiment's ``data`` dict.  Hooks are defensive — a metric that is
+missing (quick-mode grids can differ) is silently dropped rather than
+crashing a catalog refresh over an old payload.
+
+:data:`PAPER_BASELINES` carries the paper's published value for the
+headline metrics that have one, so reports can render paper-vs-repro
+delta tables without re-deriving them from claim predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from repro.experiments.platform import PAPER_TABLE2
+
+Extractor = Callable[[Mapping[str, Any]], Dict[str, float]]
+
+
+def _num(data: Any, *path: str) -> Optional[float]:
+    """Walk nested dicts; a numeric leaf becomes ``float``, else ``None``."""
+    node = data
+    for part in path:
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool):
+        return 1.0 if node else 0.0
+    if isinstance(node, (int, float)):
+        return float(node)
+    return None
+
+
+def _pick(data: Mapping[str, Any], *names: str) -> Dict[str, float]:
+    """The named top-level scalars of ``data`` that exist and are numeric."""
+    out: Dict[str, float] = {}
+    for name in names:
+        value = _num(data, name)
+        if value is not None:
+            out[name] = value
+    return out
+
+
+def _collect(pairs: Iterable[tuple]) -> Dict[str, float]:
+    return {name: value for name, value in pairs if value is not None}
+
+
+def _spread(data: Mapping[str, Any], field: str) -> Dict[str, float]:
+    """``{f"{row}_{field}": row[field]}`` over a dict-of-rows table."""
+    out: Dict[str, float] = {}
+    for name in sorted(data):
+        value = _num(data, name, field)
+        if value is not None:
+            out[f"{name}_{field}"] = value
+    return out
+
+
+# -- per-experiment hooks -------------------------------------------------
+
+
+def _fig2(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(data, "peak_read", "peak_write")
+
+
+def _fig4(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _collect(
+        [
+            (
+                "read_clean_miss_amp",
+                _num(data, "4a_read_clean_miss", "sequential_64", "amplification"),
+            ),
+            (
+                "read_clean_miss_nvram_gbps",
+                _num(data, "4a_read_clean_miss", "sequential_64", "nvram_read"),
+            ),
+            (
+                "write_dirty_miss_amp",
+                _num(data, "4b_write_dirty_miss", "sequential_64", "amplification"),
+            ),
+            ("rmw_ddo_fraction", _num(data, "4c_rmw_ddo", "sequential_64", "ddo_fraction")),
+        ]
+    )
+
+
+def _fig5(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(data, "iteration_seconds", "hit_rate", "clean_misses", "dirty_misses")
+
+
+def _fig6(data: Mapping[str, Any]) -> Dict[str, float]:
+    seconds = [_num(data, kind, "seconds") for kind in data]
+    bandwidth = [_num(data, kind, "bandwidth_gbps") for kind in data]
+    return _collect(
+        [
+            ("total_seconds", sum(s for s in seconds if s is not None)),
+            (
+                "peak_bandwidth_gbps",
+                max((b for b in bandwidth if b is not None), default=None),
+            ),
+        ]
+    )
+
+
+def _fig7(data: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for label in sorted(data):
+        value = _num(data, label, "kernels", "pr", "dram_gbps")
+        if value is not None:
+            out[f"{label}_pr_dram_gbps"] = value
+    return out
+
+
+def _fig8(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _spread(data, "amplification")  # "<kernel>_amplification"
+
+
+def _fig9(data: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        **_spread(data, "hit_rate"),
+        **_spread(data, "nvram_gbps"),
+    }
+
+
+def _fig10(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(
+        data,
+        "iteration_seconds",
+        "nvram_writes_forward",
+        "nvram_writes_backward",
+        "nvram_reads_forward",
+        "nvram_reads_backward",
+    )
+
+
+def _table1(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(data, "matches_paper")
+
+
+def _table2(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _spread(data, "speedup")  # "<network>_speedup"
+
+
+def _ablation(data: Mapping[str, Any]) -> Dict[str, float]:
+    amps = {
+        name: _num(data, name, "amplification")
+        for name in data
+        if _num(data, name, "amplification") is not None
+    }
+    return _collect(
+        [
+            ("variants", float(len(data))),
+            ("min_amplification", min(amps.values(), default=None)),
+            ("max_amplification", max(amps.values(), default=None)),
+        ]
+    )
+
+
+def _dma(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(data, "async_over_sync", "async_over_2lm", "2lm_seconds")
+
+
+def _mix(data: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for mode in ("1lm", "2lm"):
+        curve = data.get(mode)
+        if isinstance(curve, Mapping):
+            values = [v for v in curve.values() if isinstance(v, (int, float))]
+            if values:
+                out[f"peak_{mode}_gbps"] = float(max(values))
+    return out
+
+
+def _dlrm(data: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for phase in sorted(data):
+        value = _num(data, phase, "bandana_speedup_over_2lm")
+        if value is not None:
+            out[f"{phase}_bandana_speedup"] = value
+    return out
+
+
+def _gpt(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(data, "speedup", "hit_rate", "nvram_ratio")
+
+
+def _check(data: Mapping[str, Any]) -> Dict[str, float]:
+    return _pick(data, "passed", "total", "all_pass")
+
+
+#: Per-experiment headline hooks; keys mirror the CLI registry exactly
+#: (REG001 flags any registered experiment missing here).
+HEADLINES: Dict[str, Extractor] = {
+    "fig2": _fig2,
+    "table1": _table1,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "table2": _table2,
+    "ablation": _ablation,
+    "dma": _dma,
+    "mix": _mix,
+    "dlrm": _dlrm,
+    "gpt": _gpt,
+    "check": _check,
+}
+
+#: The paper's published value for headline metrics that have one
+#: (EXPERIMENTS.md claims, Figures 2/4, Tables I/II); reports compute
+#: paper-vs-repro deltas from these.
+PAPER_BASELINES: Dict[str, Dict[str, float]] = {
+    "fig2": {"peak_read": 31.0, "peak_write": 11.0},
+    "fig4": {
+        "read_clean_miss_amp": 3.0,
+        "read_clean_miss_nvram_gbps": 23.0,
+        "write_dirty_miss_amp": 5.0,
+        "rmw_ddo_fraction": 1.0,
+    },
+    "table1": {"matches_paper": 1.0},
+    "table2": {
+        f"{network}_speedup": row["speedup"] for network, row in PAPER_TABLE2.items()
+    },
+    "check": {"all_pass": 1.0},
+}
+
+
+def headline_metrics(experiment: str, data: Mapping[str, Any]) -> Dict[str, float]:
+    """The flat headline view of one run's ``data``.
+
+    Unregistered experiment names (service stubs, retired experiments
+    still present in an old store) fall back to the generic projection:
+    every numeric top-level scalar of ``data``.
+    """
+    hook = HEADLINES.get(experiment)
+    if hook is None:
+        return {
+            name: _num(data, name)
+            for name in sorted(data)
+            if _num(data, name) is not None
+        }
+    if not isinstance(data, Mapping):
+        return {}
+    return hook(data)

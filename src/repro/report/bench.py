@@ -1,0 +1,110 @@
+"""Loader for ``BENCH_*.json`` perf-trajectory files.
+
+The CLI's ``--bench`` flag and the cache-engine benchmark each write a
+JSON snapshot per run (``BENCH_experiments.json``,
+``BENCH_cache.json``).  A directory of those snapshots — one per
+commit, as CI artifacts accumulate — *is* the perf trajectory; this
+module flattens each file into ``{series: value}`` and orders the
+files, so reports can draw one sparkline per series.
+
+Two schemas are understood:
+
+* the CLI's ``{"experiments": {name: seconds}, "meta": {...}}`` —
+  series are experiment names, ordering uses ``meta.unix_time``;
+* any other JSON object — numeric leaves up to two levels deep become
+  series named ``a`` or ``a/b`` (covers ``BENCH_cache.json``-style
+  nested timings).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One bench file: a labelled set of series values."""
+
+    label: str
+    unix_time: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BenchHistory:
+    """An ordered sequence of bench snapshots (oldest first)."""
+
+    points: List[BenchPoint] = field(default_factory=list)
+
+    def series(self, name: str) -> List[float]:
+        """The values of one series across points, skipping absences."""
+        return [
+            point.values[name] for point in self.points if name in point.values
+        ]
+
+    def names(self) -> List[str]:
+        seen = set()
+        for point in self.points:
+            seen.update(point.values)
+        return sorted(seen)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def _flatten(payload: Any) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    if not isinstance(payload, dict):
+        return out
+    for name, value in sorted(payload.items()):
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[str(name)] = float(value)
+        elif isinstance(value, dict):
+            for sub, subvalue in sorted(value.items()):
+                if isinstance(subvalue, bool):
+                    continue
+                if isinstance(subvalue, (int, float)):
+                    out[f"{name}/{sub}"] = float(subvalue)
+    return out
+
+
+def load_bench_file(path: "str | Path") -> Optional[BenchPoint]:
+    """Parse one bench snapshot; ``None`` if unreadable or empty."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    meta = payload.get("meta") if isinstance(payload.get("meta"), dict) else {}
+    experiments = payload.get("experiments")
+    if isinstance(experiments, dict):
+        values = _flatten(experiments)
+    else:
+        values = _flatten({k: v for k, v in payload.items() if k != "meta"})
+    if not values:
+        return None
+    unix_time = meta.get("unix_time")
+    label = meta.get("git_sha") or path.stem
+    return BenchPoint(
+        label=str(label)[:10],
+        unix_time=float(unix_time) if isinstance(unix_time, (int, float)) else 0.0,
+        values=values,
+    )
+
+
+def load_bench_history(paths: Sequence["str | Path"]) -> BenchHistory:
+    """Load + order bench snapshots (by recorded time, then filename)."""
+    loaded = []
+    for path in paths:
+        point = load_bench_file(path)
+        if point is not None:
+            loaded.append((point, Path(path).name))
+    loaded.sort(key=lambda pair: (pair[0].unix_time, pair[1]))
+    return BenchHistory(points=[point for point, _ in loaded])

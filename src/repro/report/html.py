@@ -1,0 +1,76 @@
+"""Minimal HTML assembly for reports: escaping, tables, page skeleton.
+
+Not a template engine — reports are built from three shapes (headings,
+tables, inline SVG), and f-strings over escaped cell values keep the
+output byte-stable and the dependency count at zero.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Optional, Sequence
+
+#: One stylesheet for every page, inlined so a report directory (or a
+#: single served page) is self-contained.
+STYLE = """
+body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; padding: 0 1rem;
+       color: #333333; }
+h1, h2 { font-weight: 600; }
+h1 { border-bottom: 2px solid #2f6f9f; padding-bottom: 0.3rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; font-size: 0.9rem; }
+th, td { border: 1px solid #d5dbe0; padding: 0.3rem 0.6rem;
+         text-align: left; }
+th { background: #eef3f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.delta-ok { color: #2e7d32; }
+.delta-bad { color: #c62828; }
+.muted { color: #777777; font-size: 0.85rem; }
+a { color: #2f6f9f; }
+code { background: #f4f6f8; padding: 0.1rem 0.25rem; }
+""".strip()
+
+
+def esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def page(title: str, body: Sequence[str], generator: str = "repro-report") -> str:
+    """A complete standalone HTML document around ``body`` fragments."""
+    joined = "\n".join(body)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        f'<meta name="generator" content="{esc(generator)}">\n'
+        f"<title>{esc(title)}</title>\n"
+        f"<style>\n{STYLE}\n</style>\n"
+        f"</head>\n<body>\n{joined}\n</body>\n</html>\n"
+    )
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    numeric: Optional[Sequence[int]] = None,
+) -> str:
+    """An HTML table; ``numeric`` column indices get right alignment.
+
+    Cell values beginning with ``<svg`` or ``<a ``/``<span`` are taken
+    as pre-rendered markup (charts, links, styled deltas); everything
+    else is escaped.
+    """
+    numeric_cols = set(numeric or ())
+    parts = ["<table>", "<tr>"]
+    parts.extend(f"<th>{esc(header)}</th>" for header in headers)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for col, cell in enumerate(row):
+            text = str(cell)
+            if not text.startswith(("<svg", "<a ", "<span", "<code")):
+                text = esc(cell)
+            cls = ' class="num"' if col in numeric_cols else ""
+            parts.append(f"<td{cls}>{text}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)

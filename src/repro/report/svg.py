@@ -1,0 +1,141 @@
+"""Deterministic SVG primitives: bar charts and sparklines.
+
+No plotting library — every figure the reports need is a few dozen
+rects and a polyline, and building them by hand keeps the output
+byte-stable: coordinates are rounded to fixed precision and numbers go
+through one pinned formatter, so identical inputs always produce
+identical markup (the property the CI byte-stability gate asserts).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List, Optional, Sequence, Tuple
+
+#: Colors; picked once so pages and charts agree.
+BAR_FILL = "#2f6f9f"
+BAR_BASELINE = "#b0b8c0"
+SPARK_STROKE = "#2f6f9f"
+SPARK_DOT = "#d9534f"
+TEXT_COLOR = "#333333"
+
+
+def fmt(value: float, digits: int = 4) -> str:
+    """Pinned numeric formatting for chart labels (``%.4g`` family)."""
+    if value != value:  # NaN
+        return "nan"
+    text = f"{value:.{digits}g}"
+    # 1e+06 -> 1e6: shorter and stable across float reprs.
+    return text.replace("e+0", "e").replace("e-0", "e-").replace("e+", "e")
+
+
+def _coord(value: float) -> str:
+    """Fixed two-decimal coordinates so geometry never jitters."""
+    return f"{value:.2f}"
+
+
+def _esc(text: str) -> str:
+    return _html.escape(str(text), quote=True)
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    unit: str = "",
+    width: int = 640,
+    baselines: Optional[Sequence[Optional[float]]] = None,
+) -> str:
+    """Horizontal bar chart; optional per-bar baseline ticks.
+
+    ``items`` are ``(label, value)`` pairs rendered top to bottom in the
+    order given.  ``baselines`` (same length) draws a reference tick per
+    bar — the paper's published value next to the reproduced one.
+    """
+    bar_h, gap, left, right = 18, 8, 220, 80
+    top = 28 if title else 8
+    rows = list(items)
+    ticks = list(baselines) if baselines is not None else [None] * len(rows)
+    height = top + len(rows) * (bar_h + gap) + 8
+    span = max(
+        [abs(v) for _, v in rows] + [abs(t) for t in ticks if t is not None] + [1e-9]
+    )
+    scale = (width - left - right) / span
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{left}" y="18" font-size="13" font-weight="bold" '
+            f'fill="{TEXT_COLOR}">{_esc(title)}</text>'
+        )
+    for row, ((label, value), tick) in enumerate(zip(rows, ticks)):
+        y = top + row * (bar_h + gap)
+        bar_w = max(abs(value) * scale, 0.0)
+        parts.append(
+            f'<text x="{left - 8}" y="{_coord(y + bar_h * 0.72)}" '
+            f'font-size="12" text-anchor="end" fill="{TEXT_COLOR}">'
+            f"{_esc(label)}</text>"
+        )
+        parts.append(
+            f'<rect x="{left}" y="{y}" width="{_coord(bar_w)}" '
+            f'height="{bar_h}" fill="{BAR_FILL}" />'
+        )
+        if tick is not None:
+            tick_x = left + abs(tick) * scale
+            parts.append(
+                f'<line x1="{_coord(tick_x)}" y1="{_coord(y - 2)}" '
+                f'x2="{_coord(tick_x)}" y2="{_coord(y + bar_h + 2)}" '
+                f'stroke="{BAR_BASELINE}" stroke-width="2" />'
+            )
+        label_text = fmt(value) + (f" {unit}" if unit else "")
+        parts.append(
+            f'<text x="{_coord(left + bar_w + 6)}" '
+            f'y="{_coord(y + bar_h * 0.72)}" font-size="12" '
+            f'fill="{TEXT_COLOR}">{_esc(label_text)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def sparkline(
+    values: Sequence[float], width: int = 160, height: int = 36
+) -> str:
+    """A compact polyline of ``values`` with the last point dotted.
+
+    Flat series (all values equal, or a single point) render as a
+    horizontal midline; the vertical span always includes zero padding
+    so small jitter is not over-amplified.
+    """
+    pad = 4
+    points = [float(v) for v in values]
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">'
+    ]
+    if points:
+        low, high = min(points), max(points)
+        span = high - low
+        inner_w = width - 2 * pad
+        inner_h = height - 2 * pad
+        step = inner_w / max(len(points) - 1, 1)
+        coords = []
+        for index, value in enumerate(points):
+            x = pad + index * step
+            if span <= 0:
+                y = height / 2
+            else:
+                y = pad + (high - value) / span * inner_h
+            coords.append((x, y))
+        path = " ".join(f"{_coord(x)},{_coord(y)}" for x, y in coords)
+        parts.append(
+            f'<polyline points="{path}" fill="none" '
+            f'stroke="{SPARK_STROKE}" stroke-width="1.5" />'
+        )
+        last_x, last_y = coords[-1]
+        parts.append(
+            f'<circle cx="{_coord(last_x)}" cy="{_coord(last_y)}" r="2.5" '
+            f'fill="{SPARK_DOT}" />'
+        )
+    parts.append("</svg>")
+    return "".join(parts)

@@ -17,7 +17,12 @@ work software can skip) applied to the harness itself:
   child telemetry into the service registry.
 * :mod:`repro.service.http` — stdlib ``ThreadingHTTPServer`` front end
   (``POST /jobs``, ``GET /jobs/<id>``, ``GET /results/<key>``,
-  ``GET /healthz``, ``GET /metrics``).
+  ``GET /catalog``, ``GET /reports/``, ``GET /healthz``,
+  ``GET /metrics``).
+* :mod:`repro.service.catalog` — sqlite3 index over the store
+  (experiment / params / git SHA / salt / headline metrics) with
+  trajectory and param-diff queries; backs the ``/catalog`` endpoint
+  and the :mod:`repro.report` renderer.
 * :mod:`repro.service.versioning` — the code-version salt and git SHA
   that keep stored results honest across code changes.
 
@@ -27,13 +32,22 @@ Quickstart::
     curl -XPOST localhost:8023/jobs -d '{"experiment":"table1","quick":true}'
 """
 
+from repro.service.catalog import Catalog
 from repro.service.queue import Job, JobQueue, JobRequest, JobState
 from repro.service.scheduler import RetryPolicy, SimulationService, SubmitOutcome
-from repro.service.store import RequestSpec, ResultStore, StoredResult, canonical_json
+from repro.service.store import (
+    IndexEntry,
+    RequestSpec,
+    ResultStore,
+    StoredResult,
+    canonical_json,
+)
 from repro.service.versioning import code_version_salt, git_sha
 from repro.service.workers import WorkerPool
 
 __all__ = [
+    "Catalog",
+    "IndexEntry",
     "Job",
     "JobQueue",
     "JobRequest",

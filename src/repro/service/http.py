@@ -14,8 +14,15 @@ Endpoints::
                           -> 400 bad request | 429 queue full
     GET  /jobs/<id>       job status (state, attempts, error, result key)
     GET  /results/<key>   stored result payload
+    GET  /catalog         catalog rows (?experiment=fig4&limit=20)
+    GET  /reports/        HTML report index, rendered from the live store
+    GET  /reports/<name>  one experiment's HTML report (inline SVG)
     GET  /healthz         liveness + queue depth + code version
     GET  /metrics         Prometheus text exposition of the registry
+
+``/catalog`` and ``/reports`` re-render from the live store on every
+request (the catalog refresh is incremental), which is what turns the
+job API into a self-updating results dashboard.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
 from repro import obs
 from repro.errors import JobRejectedError, QueueFullError
@@ -144,12 +152,48 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_text(
                 200, self.service.metrics_text(), "text/plain; version=0.0.4"
             )
+        elif path == "/catalog":
+            self._get_catalog()
+        elif path == "/reports":
+            self._send_text(
+                200, self.service.report_page(), "text/html; charset=utf-8"
+            )
+        elif path.startswith("/reports/"):
+            self._get_report(path[len("/reports/"):])
         elif path.startswith("/jobs/"):
             self._get_job(path[len("/jobs/"):])
         elif path.startswith("/results/"):
             self._get_result(path[len("/results/"):])
         else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def _get_catalog(self) -> None:
+        query = parse_qs(urlparse(self.path).query)
+        experiment = query.get("experiment", [None])[0]
+        try:
+            limit_raw = query.get("limit", [None])[0]
+            limit = int(limit_raw) if limit_raw is not None else None
+        except ValueError:
+            self._send_json(400, {"error": "limit must be an integer"})
+            return
+        rows = self.service.catalog_rows(experiment=experiment, limit=limit)
+        self._send_json(
+            200,
+            {"experiment": experiment, "count": len(rows), "rows": rows},
+        )
+
+    def _get_report(self, name: str) -> None:
+        # Static-bundle links say "<experiment>.html" / "index.html";
+        # accept both spellings so the same pages work served live.
+        if name.endswith(".html"):
+            name = name[: -len(".html")]
+        html = self.service.report_page(None if name == "index" else name)
+        if html is None:
+            self._send_json(
+                404, {"error": f"no stored runs for experiment {name!r}"}
+            )
+            return
+        self._send_text(200, html, "text/html; charset=utf-8")
 
     def _get_job(self, job_id: str) -> None:
         job = self.service.job(job_id)

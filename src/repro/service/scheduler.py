@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from repro import obs
 from repro.errors import InvariantError, JobRejectedError
 from repro.experiments.base import ExperimentResult
+from repro.service.catalog import Catalog
 from repro.service.queue import Job, JobQueue, JobRequest
 from repro.service.store import RequestSpec, ResultStore, StoredResult
 from repro.service.versioning import code_version_salt, git_sha
@@ -103,6 +104,8 @@ class SimulationService:
         self._metrics_lock = threading.Lock()
         self._clock = clock
         self._log = obs.get_logger("service")
+        self._catalog: Optional[Catalog] = None
+        self._catalog_lock = threading.Lock()
         from repro.service.workers import WorkerPool
 
         self.workers = WorkerPool(self, threads=workers)
@@ -129,6 +132,14 @@ class SimulationService:
             self.telemetry.metrics.gauge(
                 "repro_service_queue_depth", help="jobs waiting to run"
             ).set(self.queue.depth)
+
+    def _observe_render(self, seconds: float) -> None:
+        with self._metrics_lock:
+            self.telemetry.metrics.histogram(
+                "repro_service_render_seconds",
+                obs.LATENCY_BUCKETS,
+                help="wall-clock seconds per catalog/report render",
+            ).observe(seconds)
 
     # -- request validation ------------------------------------------
 
@@ -271,6 +282,54 @@ class SimulationService:
     def metrics_text(self) -> str:
         self._update_depth()
         return self.telemetry.metrics.to_prometheus()
+
+    # -- catalog + reports (the self-updating dashboard) -------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """The sqlite catalog over this service's store, opened lazily."""
+        with self._catalog_lock:
+            if self._catalog is None:
+                self._catalog = Catalog(self.store)
+            return self._catalog
+
+    def catalog_rows(
+        self, experiment: Optional[str] = None, limit: Optional[int] = None
+    ) -> list:
+        """Refresh the catalog from the live store and query it.
+
+        The refresh is incremental (only keys the catalog has not seen
+        get their payload opened), so serving this per request is what
+        makes the dashboard self-updating rather than a stale snapshot.
+        """
+        self._count("catalog_requests")
+        catalog = self.catalog
+        started = self._clock()
+        with self._catalog_lock:
+            catalog.refresh()
+            rows = catalog.rows(experiment=experiment, limit=limit)
+        self._observe_render(self._clock() - started)
+        return rows
+
+    def report_page(self, experiment: Optional[str] = None) -> Optional[str]:
+        """Render the report index (``experiment=None``) or one page.
+
+        Returns ``None`` when the named experiment has no stored runs —
+        the HTTP layer turns that into a 404.
+        """
+        from repro.report.render import render_experiment, render_index
+
+        self._count("report_requests")
+        catalog = self.catalog
+        started = self._clock()
+        with self._catalog_lock:
+            catalog.refresh()
+            if experiment is None:
+                html = render_index(catalog)
+            else:
+                html = render_experiment(catalog, experiment)
+        self._observe_render(self._clock() - started)
+        return html
 
     # -- lifecycle ---------------------------------------------------
 

@@ -22,7 +22,13 @@ Layout on disk::
     <root>/index.jsonl       append-only log of stored keys (flushed)
 
 Writes are atomic (temp file + rename) so a concurrently-serving HTTP
-thread never observes a half-written payload.
+thread never observes a half-written payload.  The index is *advisory*:
+payload files are the source of truth, and opening a store compacts the
+index against them — duplicate keys collapse to the latest append,
+truncated lines from a crash mid-append are dropped, and payloads whose
+index line never made it to disk are recovered from their own metadata.
+Consumers read the compacted view through :meth:`ResultStore.entries`
+instead of re-parsing ``index.jsonl`` themselves.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.experiments.base import ExperimentResult
 from repro.perf.export import to_jsonable
-from repro.service.versioning import code_version_salt
+from repro.service.versioning import code_version_salt, git_sha
 
 #: Bump when the payload schema changes; part of the on-disk payload
 #: (not the key) so old stores remain readable or clearly rejected.
@@ -106,6 +112,57 @@ class StoredResult:
     meta: Dict[str, Any]
 
 
+@dataclass(frozen=True)
+class IndexEntry:
+    """One compacted line of ``index.jsonl``.
+
+    ``salt`` and ``git_sha`` are provenance: they let the catalog group
+    results by the code version (and commit) that produced them without
+    opening every payload file.
+    """
+
+    key: str
+    experiment: str
+    quick: bool
+    created_unix: float
+    salt: str = ""
+    git_sha: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "experiment": self.experiment,
+            "quick": self.quick,
+            "created_unix": self.created_unix,
+            "salt": self.salt,
+            "git_sha": self.git_sha,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Any) -> Optional["IndexEntry"]:
+        """Parse one index line; ``None`` for malformed records."""
+        if not isinstance(obj, dict):
+            return None
+        key = obj.get("key")
+        experiment = obj.get("experiment")
+        created = obj.get("created_unix")
+        if (
+            not isinstance(key, str)
+            or not isinstance(experiment, str)
+            or not isinstance(created, (int, float))
+        ):
+            return None
+        sha = obj.get("git_sha")
+        return cls(
+            key=key,
+            experiment=experiment,
+            quick=bool(obj.get("quick", False)),
+            created_unix=float(created),
+            salt=str(obj.get("salt", "") or ""),
+            git_sha=sha if isinstance(sha, str) and sha else None,
+        )
+
+
 class ResultStore:
     """Disk-backed content-addressed store of experiment results.
 
@@ -120,7 +177,9 @@ class ResultStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._clock = clock
-        self._pending_index: List[Dict[str, Any]] = []
+        self._pending_index: List[IndexEntry] = []
+        self._git_sha: Optional[str] = git_sha()
+        self._entries: Dict[str, IndexEntry] = self._load_index()
 
     # -- paths -------------------------------------------------------
 
@@ -172,6 +231,8 @@ class ResultStore:
     ) -> str:
         """Persist one result under its request key; returns the key."""
         key = spec.key
+        meta = dict(meta or {})
+        meta.setdefault("git_sha", self._git_sha)
         payload = {
             "format": STORE_FORMAT,
             "key": key,
@@ -182,7 +243,7 @@ class ResultStore:
                 "data": to_jsonable(result.data),
                 "sections": list(result.sections),
             },
-            "meta": {"created_unix": round(self._clock(), 3), **dict(meta or {})},
+            "meta": {"created_unix": round(self._clock(), 3), **meta},
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -190,12 +251,14 @@ class ResultStore:
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
         os.replace(tmp, path)
         self._pending_index.append(
-            {
-                "key": key,
-                "experiment": spec.experiment,
-                "quick": spec.quick,
-                "created_unix": payload["meta"]["created_unix"],
-            }
+            IndexEntry(
+                key=key,
+                experiment=spec.experiment,
+                quick=spec.quick,
+                created_unix=payload["meta"]["created_unix"],
+                salt=spec.salt,
+                git_sha=payload["meta"].get("git_sha"),
+            )
         )
         return key
 
@@ -203,12 +266,106 @@ class ResultStore:
         """Append pending index entries to ``index.jsonl``; returns count."""
         if not self._pending_index:
             return 0
-        lines = [json.dumps(entry, sort_keys=True) for entry in self._pending_index]
+        lines = [
+            json.dumps(entry.to_json(), sort_keys=True)
+            for entry in self._pending_index
+        ]
         with self.index_path.open("a") as handle:
             handle.write("\n".join(lines) + "\n")
         flushed = len(self._pending_index)
+        for entry in self._pending_index:
+            self._entries[entry.key] = entry
         self._pending_index.clear()
         return flushed
+
+    # -- index -------------------------------------------------------
+
+    def entries(self, experiment: Optional[str] = None) -> List[IndexEntry]:
+        """The compacted index: one entry per stored key, append order.
+
+        Includes results ``put`` but not yet flushed, so a live service
+        and its dashboard agree on what exists.  This is the supported
+        way to enumerate a store; nobody should re-parse ``index.jsonl``.
+        """
+        merged = dict(self._entries)
+        for entry in self._pending_index:
+            merged[entry.key] = entry
+        return [
+            entry
+            for entry in merged.values()
+            if experiment is None or entry.experiment == experiment
+        ]
+
+    def _load_index(self) -> Dict[str, IndexEntry]:
+        """Read + compact ``index.jsonl`` against the payload files.
+
+        Drops corrupt/truncated lines (crash mid-append), collapses
+        duplicate keys to the latest append (overwritten results), drops
+        entries whose payload vanished, and recovers payloads that never
+        got an index line.  Rewrites the file only when something
+        actually changed.
+        """
+        entries: Dict[str, IndexEntry] = {}
+        dirty = False
+        if self.index_path.is_file():
+            for line in self.index_path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    dirty = True  # torn append: payload scan recovers it
+                    continue
+                entry = IndexEntry.from_json(obj)
+                if entry is None:
+                    dirty = True
+                    continue
+                if entry.key in entries:
+                    dirty = True  # duplicate: later append supersedes
+                entries[entry.key] = entry
+        disk_keys = set(self.keys())
+        for key in [key for key in entries if key not in disk_keys]:
+            del entries[key]
+            dirty = True
+        for key in sorted(disk_keys - entries.keys()):
+            recovered = self._entry_from_payload(key)
+            if recovered is not None:
+                entries[key] = recovered
+                dirty = True
+        if dirty:
+            self._rewrite_index(entries)
+        return entries
+
+    def _entry_from_payload(self, key: str) -> Optional[IndexEntry]:
+        """Rebuild one index entry from its payload file (crash recovery)."""
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        request = payload.get("request")
+        meta = payload.get("meta")
+        if not isinstance(request, dict) or not isinstance(meta, dict):
+            return None
+        return IndexEntry.from_json(
+            {
+                "key": key,
+                "experiment": request.get("experiment"),
+                "quick": request.get("quick", False),
+                "created_unix": meta.get("created_unix", 0.0),
+                "salt": request.get("salt", ""),
+                "git_sha": meta.get("git_sha"),
+            }
+        )
+
+    def _rewrite_index(self, entries: Mapping[str, IndexEntry]) -> None:
+        tmp = self.index_path.with_suffix(".tmp")
+        lines = [
+            json.dumps(entry.to_json(), sort_keys=True)
+            for entry in entries.values()
+        ]
+        tmp.write_text("\n".join(lines) + "\n" if lines else "")
+        os.replace(tmp, self.index_path)
 
     # -- introspection -----------------------------------------------
 

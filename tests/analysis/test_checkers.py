@@ -268,7 +268,14 @@ class TestRegistration:
 
                 def run(quick=False):
                     return None
-                """
+                """,
+                "headline.py": """\
+                def extract(data):
+                    return {}
+
+
+                HEADLINES = {"fig1": extract}
+                """,
             },
         )
         report = run_analysis([pkg], checkers=[RegistrationChecker()])
@@ -285,6 +292,7 @@ class TestRegistration:
             {
                 "fig1.py": "def sweep_spec(quick):\n    return None\n",
                 "fig2.py": "def run(quick=False):\n    return None\n",
+                "headline.py": 'HEADLINES = {"fig1": None}\n',
             },
         )
         findings = run_analysis([pkg], checkers=[RegistrationChecker()]).findings
@@ -302,6 +310,52 @@ class TestRegistration:
         )
         report = run_analysis([pkg], checkers=[RegistrationChecker()])
         assert report.findings == []
+
+    def test_registered_name_without_headline_hook_flagged(self, tmp_path):
+        pkg = self.write_experiments(
+            tmp_path,
+            """\
+            from experiments import fig1, fig2
+
+            EXPERIMENTS = {"fig1": fig1.run, "fig2": fig2.run}
+            """,
+            {
+                "fig1.py": (
+                    "def sweep_spec(quick):\n    return None\n"
+                    "def run(quick=False):\n    return None\n"
+                ),
+                "fig2.py": (
+                    "def sweep_spec(quick):\n    return None\n"
+                    "def run(quick=False):\n    return None\n"
+                ),
+                "headline.py": 'HEADLINES = {"fig1": None}\n',
+            },
+        )
+        findings = run_analysis([pkg], checkers=[RegistrationChecker()]).findings
+        assert [f.rule for f in findings] == ["REG001"]
+        assert findings[0].path.endswith("headline.py")
+        assert "'fig2'" in findings[0].message
+        assert "HEADLINES" in findings[0].message
+
+    def test_registry_without_headline_module_flagged(self, tmp_path):
+        pkg = self.write_experiments(
+            tmp_path,
+            """\
+            from experiments import fig1
+
+            EXPERIMENTS = {"fig1": fig1.run}
+            """,
+            {
+                "fig1.py": (
+                    "def sweep_spec(quick):\n    return None\n"
+                    "def run(quick=False):\n    return None\n"
+                ),
+            },
+        )
+        findings = run_analysis([pkg], checkers=[RegistrationChecker()]).findings
+        assert [f.rule for f in findings] == ["REG001"]
+        assert findings[0].path.endswith("registry.py")
+        assert "headline.py" in findings[0].message
 
 
 class TestService:
@@ -371,6 +425,50 @@ class TestService:
             ("SVC001", 11),
         ]
         assert "swallows" in findings[0].message
+
+    def test_flags_raw_catalog_access_in_handler(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "http.py",
+            """\
+            import sqlite3
+            from http.server import BaseHTTPRequestHandler
+
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    conn = sqlite3.connect("catalog.sqlite3")
+                    self.service.catalog.rebuild()
+                    self.respond(conn)
+            """,
+            ServiceChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("SVC001", 7),
+            ("SVC001", 8),
+        ]
+        assert "sqlite3" in findings[0].message
+        assert "rebuild" in findings[1].message
+        assert "incrementally" in findings[1].message
+
+    def test_catalog_access_outside_handlers_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "catalog.py",
+            """\
+            import sqlite3
+
+
+            class Catalog:
+                def _connect(self, path):
+                    return sqlite3.connect(path)
+
+                def refresh(self):
+                    return self.rebuild()
+            """,
+            ServiceChecker(),
+        )
+        assert findings == []
 
     def test_translated_job_error_passes(self, tmp_path):
         findings = lint(

@@ -1,0 +1,65 @@
+"""Stdlib SVG generation: pinned formatting and stable geometry."""
+
+from repro.report.svg import bar_chart, fmt, sparkline
+
+
+class TestFmt:
+    def test_pinned_significant_digits(self):
+        assert fmt(31.0) == "31"
+        assert fmt(2.3456789) == "2.346"
+        assert fmt(0.000123456) == "0.0001235"
+        assert fmt(-1.5) == "-1.5"
+
+    def test_large_values_keep_e_notation_readable(self):
+        assert "e" in fmt(1.23e12)
+
+    def test_deterministic_across_calls(self):
+        assert fmt(3.14159) == fmt(3.14159)
+
+
+class TestBarChart:
+    def test_renders_one_bar_per_item(self):
+        chart = bar_chart(
+            [("read", 31.0), ("write", 11.0)], title="fig2", unit="GB/s"
+        )
+        assert chart.startswith("<svg")
+        assert chart.count("<rect") >= 2  # at least one rect per bar
+        assert "read" in chart and "write" in chart
+        assert "31" in chart
+
+    def test_baseline_ticks_only_where_given(self):
+        without = bar_chart([("a", 1.0)], title="t")
+        with_tick = bar_chart([("a", 1.0)], title="t", baselines=[2.0])
+        assert with_tick != without
+        assert with_tick.count("<line") > without.count("<line")
+
+    def test_byte_stable(self):
+        items = [("x", 1.23456), ("y", 7.89)]
+        assert bar_chart(items, title="t") == bar_chart(items, title="t")
+
+    def test_handles_all_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)], title="zeros")
+        assert chart.startswith("<svg")
+
+
+class TestSparkline:
+    def test_polyline_over_points(self):
+        spark = sparkline([1.0, 2.0, 3.0, 2.5])
+        assert spark.startswith("<svg")
+        assert "<polyline" in spark
+        assert "<circle" in spark  # the latest point is marked
+
+    def test_byte_stable(self):
+        values = [0.1, 0.5, 0.2]
+        assert sparkline(values) == sparkline(values)
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        spark = sparkline([2.0, 2.0, 2.0])
+        assert "<polyline" in spark
+
+    def test_coordinates_are_pinned_to_two_decimals(self):
+        spark = sparkline([1.0, 1.0000001, 3.0])
+        points = spark.split('points="', 1)[1].split('"', 1)[0]
+        for pair in points.split(" "):
+            for coord in pair.split(","):
+                assert len(coord.split(".")[1]) == 2

@@ -42,6 +42,15 @@ def get_text(url):
         return response.status, response.read().decode()
 
 
+def get_with_headers(url):
+    request = urllib.request.Request(url, method="GET")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read().decode()
+
+
 @pytest.fixture
 def served(tmp_path):
     store = ResultStore(tmp_path / "store")
@@ -128,6 +137,70 @@ class TestServeSmoke:
         assert index.is_file()
         entries = [json.loads(line) for line in index.read_text().splitlines()]
         assert [entry["experiment"] for entry in entries] == ["sleepy"]
+
+    def test_exposition_content_types(self, served):
+        _, base, _ = served
+        # Prometheus scrapers key on the text exposition version; a JSON
+        # default here would silently break scraping.
+        status, headers, body = get_with_headers(f"{base}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain; version=0.0.4"
+        assert "repro_service_queue_depth" in body
+
+        status, headers, body = get_with_headers(f"{base}/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["status"] == "ok"
+
+    def test_catalog_and_reports_dashboard(self, served):
+        _, base, _ = served
+
+        # Submit + wait so the store has one sleepy result.
+        status, accepted = http(
+            "POST", f"{base}/jobs", {"experiment": "sleepy", "quick": True}
+        )
+        assert status == 202
+        poll_until_done(base, accepted["job"]["id"])
+
+        # /catalog serves the indexed run, filtered by experiment.
+        status, headers, body = get_with_headers(
+            f"{base}/catalog?experiment=sleepy"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["count"] == 1
+        (row,) = payload["rows"]
+        assert row["experiment"] == "sleepy"
+        assert row["salt"] == "s" * 16
+        assert row["quick"] is True
+        assert row["headline"] == {"answer": 42.0, "quick": 1.0}
+
+        status, _, body = get_with_headers(f"{base}/catalog?experiment=nope")
+        assert (status, json.loads(body)["count"]) == (200, 0)
+
+        # /reports/ index and the per-experiment page render live HTML.
+        status, headers, body = get_with_headers(f"{base}/reports/")
+        assert status == 200
+        assert headers["Content-Type"] == "text/html; charset=utf-8"
+        assert "sleepy" in body
+
+        for suffix in ("sleepy", "sleepy.html"):
+            status, headers, body = get_with_headers(f"{base}/reports/{suffix}")
+            assert status == 200
+            assert headers["Content-Type"] == "text/html; charset=utf-8"
+            assert "<svg" in body  # inline chart, no plotting dependency
+
+        status, _, _ = get_with_headers(f"{base}/reports/unknown")
+        assert status == 404
+
+        # Dashboard traffic is itself observable: counters + render
+        # latency histogram appear in the same exposition.
+        status, metrics = get_text(f"{base}/metrics")
+        assert status == 200
+        assert "repro_service_catalog_requests_total 2" in metrics
+        assert "repro_service_report_requests_total 4" in metrics
+        assert "repro_service_render_seconds_bucket" in metrics
 
     def test_duplicate_inflight_submissions_share_one_job(self, served):
         _, base, _ = served

@@ -113,3 +113,89 @@ class TestResultStore:
         loaded = store.get(spec.key)
         assert loaded.result.data["metric"] == 2.0
         assert len(store) == 1
+
+
+class TestIndexCompaction:
+    def test_entries_merge_flushed_and_pending(self, tmp_path):
+        store = ResultStore(tmp_path / "store", clock=lambda: 5.0)
+        store.put(RequestSpec.build("one", salt="d" * 16), make_result("one"))
+        store.flush()
+        store.put(RequestSpec.build("two", salt="d" * 16), make_result("two"))
+        # Unflushed results are already visible: the live dashboard and
+        # the store must agree on what exists.
+        assert sorted(e.experiment for e in store.entries()) == ["one", "two"]
+        assert [e.experiment for e in store.entries(experiment="two")] == ["two"]
+        entry = store.entries(experiment="one")[0]
+        assert entry.salt == "d" * 16
+        assert entry.created_unix == 5.0
+        assert entry.quick is False
+
+    def test_reopen_collapses_duplicate_index_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "store", clock=lambda: 1.0)
+        spec = RequestSpec.build("stub", salt="e" * 16)
+        store.put(spec, make_result(value=1.0))
+        store.flush()
+        store.put(spec, make_result(value=2.0))
+        store.flush()
+        assert len(store.index_path.read_text().splitlines()) == 2
+
+        reopened = ResultStore(tmp_path / "store")
+        assert len(reopened.entries()) == 1
+        # Compaction rewrote the file: one line per live key.
+        assert len(reopened.index_path.read_text().splitlines()) == 1
+
+    def test_reopen_recovers_from_crash_mid_append(self, tmp_path):
+        """A torn index append must not lose the payload it described."""
+        store = ResultStore(tmp_path / "store", clock=lambda: 2.0)
+        specs = {
+            name: RequestSpec.build(name, salt="f" * 16) for name in ("one", "two")
+        }
+        for name, spec in specs.items():
+            store.put(spec, make_result(name))
+        store.flush()
+        # Crash scenario 1: the last index line was half-written.
+        text = store.index_path.read_text()
+        lines = text.splitlines()
+        store.index_path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        # Crash scenario 2: a payload landed but its index line never did.
+        orphan_spec = RequestSpec.build("three", salt="f" * 16)
+        store.put(orphan_spec, make_result("three"))
+        # (no flush — the process "died" here)
+
+        reopened = ResultStore(tmp_path / "store")
+        assert {e.experiment for e in reopened.entries()} == {"one", "two", "three"}
+        # The recovered entries carry full provenance from the payloads.
+        by_name = {e.experiment: e for e in reopened.entries()}
+        assert by_name["two"].key == specs["two"].key
+        assert by_name["three"].salt == "f" * 16
+        assert by_name["three"].created_unix == 2.0
+        # The rewritten index is valid JSONL with one line per payload.
+        rewritten = [
+            json.loads(line)
+            for line in reopened.index_path.read_text().splitlines()
+        ]
+        assert len(rewritten) == 3
+        assert {line["key"] for line in rewritten} == set(reopened.keys())
+
+    def test_reopen_drops_entries_without_payloads(self, tmp_path):
+        store = ResultStore(tmp_path / "store", clock=lambda: 3.0)
+        keep = RequestSpec.build("keep", salt="a" * 16)
+        drop = RequestSpec.build("drop", salt="a" * 16)
+        store.put(keep, make_result("keep"))
+        store.put(drop, make_result("drop"))
+        store.flush()
+        store.path_for(drop.key).unlink()
+
+        reopened = ResultStore(tmp_path / "store")
+        assert [e.experiment for e in reopened.entries()] == ["keep"]
+        assert len(reopened.index_path.read_text().splitlines()) == 1
+
+    def test_clean_index_is_not_rewritten_on_reopen(self, tmp_path):
+        store = ResultStore(tmp_path / "store", clock=lambda: 4.0)
+        store.put(RequestSpec.build("one", salt="b" * 16), make_result("one"))
+        store.flush()
+        before = store.index_path.stat().st_mtime_ns
+
+        reopened = ResultStore(tmp_path / "store")
+        assert len(reopened.entries()) == 1
+        assert reopened.index_path.stat().st_mtime_ns == before
