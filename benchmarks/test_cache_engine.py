@@ -1,18 +1,33 @@
-"""Micro-benchmark: segmented engine vs the legacy round decomposition.
+"""Micro-benchmark: closed-form engine vs the legacy round decomposition.
 
 The round decomposition re-ran ``np.unique`` once per collision round,
 so a batch concentrated on a few sets degraded toward serial cost —
 exactly the high-miss, high-reuse regime (small-capacity ablations,
-graph gathers) the paper's argument lives in.  The segmented engine
-resolves duplicates in closed form from one stable sort.
+graph gathers) the paper's argument lives in.  The closed-form engine
+resolves duplicates from at most one stable sort per batch, and the
+duplicate probe skips even that sort on collision-free batches.
 
-This benchmark times both engines on the two extremes and exports
-``BENCH_cache.json``:
+Every cache model is timed against its legacy twin from
+:mod:`repro.cache.rounds` on a shared workload family and the timings
+are exported as ``BENCH_cache.json`` (CI renders them as
+perf-trajectory sparklines via ``repro-report --bench``):
 
-* ``uniform`` — every line maps to a distinct set (one round either
-  way); the segmented engine must not regress by more than 5 %.
-* ``high_collision`` — ~100k requests over 256 sets (~400 occurrences
-  per set); the segmented engine must be at least 5x faster.
+* ``uniform`` — every request maps to a distinct set: the common
+  streaming case.  The probe's O(n) scatter replaces the legacy sort,
+  so the direct-mapped model must be at least 2x faster here.
+* ``zipfian`` — multiplicity ~ 1/rank with a bounded head, mixing hot
+  segments into a long singleton tail.
+* ``same_set_mix`` — a hot set absorbing hundreds of aliasing requests
+  inside an otherwise uniform batch: the adversarial LRU case (rank
+  rounds for both engines, but only the legacy engine pays a sort per
+  round).
+* ``high_collision`` (direct-mapped only) — ~100k requests over 256
+  sets, the historical gate: the closed form must stay at least 5x
+  faster, and in no case may any model regress past 5 %.
+
+Batches are frozen read-only so the read pass and the write pass of
+each iteration share one ``SegmentedBatch`` — the fused one-argsort
+lifecycle the production flow (memoized access streams) exercises.
 
 Both engines are property-tested bit-for-bit equivalent
 (``tests/cache/test_engine_property.py``), so this is purely a speed
@@ -26,33 +41,135 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cache import DirectMappedCache
+from repro.cache import DirectMappedCache, SectorCache, SetAssociativeCache
+from repro.cache.rounds import (
+    RoundsDirectMappedCache,
+    RoundsSectorCache,
+    RoundsSetAssociativeCache,
+)
 
-NUM_SETS = 1 << 18
 REPEATS = 5
-
 BENCH_PATH = Path("BENCH_cache.json")
 
+DM_SETS = 1 << 18
+SECTOR_SETS = 1 << 14
+SECTOR_LINES = 32
+SA_SETS = 1 << 15
+SA_WAYS = 8
 
-def _uniform_batch():
-    """One line per set: collision-free, the common streaming case."""
-    rng = np.random.default_rng(0xCA5E)
-    return rng.permutation(NUM_SETS).astype(np.int64)
+
+def _freeze(lines):
+    """Freeze a batch so read + write passes share one SegmentedBatch."""
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    lines.flags.writeable = False
+    return lines
 
 
-def _high_collision_batch():
+class ModelSpec:
+    """One cache model: constructors plus its set-addressing scheme."""
+
+    def __init__(self, name, num_sets, new, old, to_lines):
+        self.name = name
+        self.num_sets = num_sets
+        self.new = new
+        self.old = old
+        self.to_lines = to_lines
+
+
+def _dm_lines(sets, alias):
+    return sets + alias * DM_SETS
+
+
+def _sector_lines(sets, alias):
+    # Distinct sectors per (set, alias); offsets vary so sector reads
+    # exercise the footprint-fill resolution, not just bit tests.
+    sector = sets + alias * SECTOR_SETS
+    return sector * SECTOR_LINES + (sets ^ alias) % SECTOR_LINES
+
+
+def _sa_lines(sets, alias):
+    return sets + alias * SA_SETS
+
+
+MODELS = [
+    ModelSpec(
+        "direct_mapped",
+        DM_SETS,
+        lambda: DirectMappedCache(DM_SETS * 64),
+        lambda: RoundsDirectMappedCache(DM_SETS * 64),
+        _dm_lines,
+    ),
+    ModelSpec(
+        "sector",
+        SECTOR_SETS,
+        lambda: SectorCache(
+            SECTOR_SETS * SECTOR_LINES * 64,
+            sector_lines=SECTOR_LINES,
+            footprint=4,
+        ),
+        lambda: RoundsSectorCache(
+            SECTOR_SETS * SECTOR_LINES * 64,
+            sector_lines=SECTOR_LINES,
+            footprint=4,
+        ),
+        _sector_lines,
+    ),
+    ModelSpec(
+        "set_associative",
+        SA_SETS,
+        lambda: SetAssociativeCache(SA_SETS * SA_WAYS * 64, ways=SA_WAYS),
+        lambda: RoundsSetAssociativeCache(SA_SETS * SA_WAYS * 64, ways=SA_WAYS),
+        _sa_lines,
+    ),
+]
+
+
+def _uniform_batch(spec, rng):
+    """One request per set: collision-free, the common streaming case."""
+    sets = rng.permutation(spec.num_sets)
+    return _freeze(spec.to_lines(sets, np.zeros(spec.num_sets, dtype=np.int64)))
+
+
+def _zipfian_batch(spec, rng, n=65_536, max_mult=256):
+    """Multiplicity ~ max_mult/rank, capped head, long singleton tail."""
+    counts = []
+    total = 0
+    while total < n:
+        count = max(1, max_mult // (len(counts) + 1))
+        counts.append(min(count, n - total))
+        total += counts[-1]
+    counts = np.array(counts, dtype=np.int64)
+    sets = np.repeat(rng.integers(0, spec.num_sets, size=counts.size), counts)
+    alias = rng.integers(0, 8, size=n)
+    perm = rng.permutation(n)
+    return _freeze(spec.to_lines(sets[perm], alias[perm]))
+
+
+def _same_set_mix_batch(spec, rng, n=16_384, hot=512):
+    """A hot set soaking up aliasing requests inside a uniform batch."""
+    cold = n - hot
+    sets = np.concatenate(
+        [rng.integers(1, spec.num_sets, size=cold), np.zeros(hot, dtype=np.int64)]
+    )
+    alias = np.concatenate(
+        [np.zeros(cold, dtype=np.int64), rng.integers(0, 64, size=hot)]
+    )
+    perm = rng.permutation(n)
+    return _freeze(spec.to_lines(sets[perm], alias[perm]))
+
+
+def _high_collision_batch(spec, rng, n=100_000):
     """~100k requests aliasing 256 sets: the adversarial extreme."""
-    rng = np.random.default_rng(0xC0FF)
-    sets = rng.integers(0, 256, size=100_000)
-    alias = rng.integers(0, 64, size=100_000)
-    return (sets + alias * NUM_SETS).astype(np.int64)
+    sets = rng.integers(0, 256, size=n)
+    alias = rng.integers(0, 64, size=n)
+    return _freeze(spec.to_lines(sets, alias))
 
 
-def _time_engine(engine, batch):
+def _time(make_cache, batch):
     """Best-of-N seconds for a read pass plus a write pass."""
 
     def run():
-        cache = DirectMappedCache(NUM_SETS * 64, engine=engine)
+        cache = make_cache()
         cache.llc_read(batch)
         cache.llc_write(batch)
 
@@ -60,31 +177,48 @@ def _time_engine(engine, batch):
     return min(timeit.repeat(run, number=1, repeat=REPEATS, timer=time.perf_counter))
 
 
-def test_segmented_engine_speedup():
+def test_closed_form_engine_speedup():
+    rng = np.random.default_rng(0xCA5E)
     results = {}
-    for name, batch in (
-        ("uniform", _uniform_batch()),
-        ("high_collision", _high_collision_batch()),
-    ):
-        old_s = _time_engine("rounds", batch)
-        new_s = _time_engine("segmented", batch)
-        results[name] = {
-            "batch_lines": int(batch.size),
-            "rounds_s": old_s,
-            "segmented_s": new_s,
-            "speedup": old_s / new_s,
-        }
+    for spec in MODELS:
+        workloads = [
+            ("uniform", _uniform_batch(spec, rng)),
+            ("zipfian", _zipfian_batch(spec, rng)),
+            ("same_set_mix", _same_set_mix_batch(spec, rng)),
+        ]
+        if spec.name == "direct_mapped":
+            workloads.append(("high_collision", _high_collision_batch(spec, rng)))
+        for workload, batch in workloads:
+            old_s = _time(spec.old, batch)
+            new_s = _time(spec.new, batch)
+            results[f"{spec.name}/{workload}"] = {
+                "batch_lines": int(batch.size),
+                "rounds_s": old_s,
+                "closed_form_s": new_s,
+                "speedup": old_s / new_s,
+            }
 
     results["metadata"] = {
-        "num_sets": NUM_SETS,
+        "models": {
+            "direct_mapped": {"num_sets": DM_SETS},
+            "sector": {"num_sets": SECTOR_SETS, "sector_lines": SECTOR_LINES},
+            "set_associative": {"num_sets": SA_SETS, "ways": SA_WAYS},
+        },
         "repeats": REPEATS,
         "timer": "perf_counter, best-of-N, read pass + write pass",
     }
     BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
-    # The adversarial case is the whole point of the engine.
-    assert results["high_collision"]["speedup"] >= 5.0, results["high_collision"]
-    # The common collision-free case must not pay for it.
-    assert results["uniform"]["segmented_s"] <= results["uniform"]["rounds_s"] * 1.05, (
-        results["uniform"]
+    # The probe-gated sortless fast path must win the common case outright.
+    assert results["direct_mapped/uniform"]["speedup"] >= 2.0, (
+        results["direct_mapped/uniform"]
     )
+    # The adversarial case is the whole point of the engine.
+    assert results["direct_mapped/high_collision"]["speedup"] >= 5.0, (
+        results["direct_mapped/high_collision"]
+    )
+    # No model may regress past 5 % on any workload.
+    for name, row in results.items():
+        if name == "metadata":
+            continue
+        assert row["speedup"] >= 0.95, (name, row)

@@ -13,6 +13,7 @@ from repro.analysis.core import Checker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exceptions import ExceptionChecker
 from repro.analysis.checkers.registration import RegistrationChecker
+from repro.analysis.checkers.segments import SegmentsChecker
 from repro.analysis.checkers.service import ServiceChecker
 from repro.analysis.checkers.telemetry import TelemetryChecker
 from repro.analysis.checkers.units import UnitsChecker
@@ -24,6 +25,7 @@ ALL_CHECKERS: List[Type[Checker]] = [
     ExceptionChecker,
     RegistrationChecker,
     ServiceChecker,
+    SegmentsChecker,
 ]
 
 
@@ -42,6 +44,7 @@ __all__ = [
     "DeterminismChecker",
     "ExceptionChecker",
     "RegistrationChecker",
+    "SegmentsChecker",
     "ServiceChecker",
     "TelemetryChecker",
     "UnitsChecker",

@@ -11,18 +11,27 @@ hardware cache, the ablation benchmarks compare the real design against:
   variant that avoids the wasteful fill-on-write-miss.
 * ``DirectMappedCache(ddo_enabled=False)`` — measures how much the
   Dirty Data Optimization actually saves.
+
+LRU recency stamps couple same-set occurrences of *different* lines
+(every access reorders the whole recency stack), so the closed-form
+duplicate resolution of the direct-mapped engine does not apply; the
+engine instead resolves the rank partition of one shared argsort
+round-by-round — ``k = max same-set multiplicity`` rounds, tight for
+LRU — and collision-free batches (proven by the duplicate probe) skip
+both the sort and the loop.  See :func:`repro.cache.engine.
+setassoc_read_batch`.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from repro.cache.base import as_lines
+from repro.cache import engine as _engine_ops
+from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
-from repro.perf.segments import segment
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)
@@ -35,6 +44,8 @@ class SetAssociativeCache:
     every non-DDO request, insert on miss, dirty write-back) — only the
     mapping flexibility changes, isolating the effect of conflict misses.
     """
+
+    cache_kind = "set_associative"
 
     def __init__(
         self,
@@ -60,6 +71,7 @@ class SetAssociativeCache:
         self._known_resident = np.zeros((self.num_sets, ways), dtype=bool)
         self._stamp = np.zeros((self.num_sets, ways), dtype=np.int64)
         self._clock = np.int64(0)
+        self._segmenter = _engine_ops.BatchSegmenter(self.num_sets)
 
     def reset(self) -> None:
         self._tags.fill(_INVALID)
@@ -68,107 +80,65 @@ class SetAssociativeCache:
         self._stamp.fill(0)
         self._clock = np.int64(0)
 
-    def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
-        """Rank-partitioned rounds of pairwise-distinct sets, one sort.
-
-        LRU stamps couple same-set occurrences of *different* lines, so
-        the closed-form duplicate resolution of the direct-mapped engine
-        does not apply; rounds are kept but all derived from one
-        segmented sort instead of one ``np.unique`` per collision round.
-        """
-        return segment(lines % self.num_sets).rounds()
-
-    def _lookup(self, sets: np.ndarray, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (hit mask, way index) — way is the hit way or LRU victim."""
-        tags = self._tags[sets]  # (n, ways)
-        matches = tags == lines[:, None]
-        hit = matches.any(axis=1)
-        hit_way = matches.argmax(axis=1)
-        victim_way = self._stamp[sets].argmin(axis=1)
-        way = np.where(hit, hit_way, victim_way)
-        return hit, way
-
-    def _touch(self, sets: np.ndarray, way: np.ndarray) -> None:
-        self._clock += 1
-        self._stamp[sets, way] = self._clock
-
     def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_reads = int(lines.size)
-        for index in self._rounds(lines):
-            self._read_round(lines[index], traffic, tags)
+        seg = self._segmenter.segment(lines, lines % self.num_sets)
+        counts, self._clock = _engine_ops.setassoc_read_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident,
+            self._stamp, self._clock,
+        )
+        traffic.dram_reads += counts.requests
+        traffic.nvram_reads += counts.misses
+        traffic.dram_writes += counts.misses
+        traffic.nvram_writes += counts.dirty_misses
+        tags.hits += counts.requests - counts.misses
+        tags.clean_misses += counts.misses - counts.dirty_misses
+        tags.dirty_misses += counts.dirty_misses
+        record_cache_metrics(self.cache_kind, traffic, tags)
         return traffic, tags
-
-    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        hit, way = self._lookup(sets, lines)
-        miss = ~hit
-        dirty_victim = miss & self._dirty[sets, way]
-
-        n = int(lines.size)
-        n_miss = int(miss.sum())
-        n_dirty = int(dirty_victim.sum())
-
-        traffic.dram_reads += n
-        traffic.nvram_reads += n_miss
-        traffic.dram_writes += n_miss
-        traffic.nvram_writes += n_dirty
-        tags.hits += n - n_miss
-        tags.clean_misses += n_miss - n_dirty
-        tags.dirty_misses += n_dirty
-
-        miss_sets, miss_way = sets[miss], way[miss]
-        self._tags[miss_sets, miss_way] = lines[miss]
-        self._dirty[miss_sets, miss_way] = False
-        self._known_resident[sets, way] = True
-        self._touch(sets, way)
 
     def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_writes = int(lines.size)
-        for index in self._rounds(lines):
-            self._write_round(lines[index], traffic, tags)
+        seg = self._segmenter.segment(lines, lines % self.num_sets)
+        counts, self._clock = _engine_ops.setassoc_write_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident,
+            self._stamp, self._clock,
+            ddo_enabled=self.ddo_enabled,
+        )
+        traffic.dram_writes += counts.ddo_writes + counts.hits
+        traffic.dram_reads += counts.requests - counts.ddo_writes
+        traffic.nvram_writes += counts.dirty_misses
+        traffic.nvram_reads += counts.misses
+        traffic.dram_writes += 2 * counts.misses
+        tags.ddo_writes += counts.ddo_writes
+        tags.hits += counts.hits
+        tags.clean_misses += counts.misses - counts.dirty_misses
+        tags.dirty_misses += counts.dirty_misses
+        record_cache_metrics(self.cache_kind, traffic, tags)
         return traffic, tags
 
-    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        hit, way = self._lookup(sets, lines)
+    # -- priming and introspection -----------------------------------------
 
-        if self.ddo_enabled:
-            ddo = hit & self._known_resident[sets, way]
-        else:
-            ddo = np.zeros(lines.size, dtype=bool)
-        checked = ~ddo
-        checked_hit = hit & checked
-        miss = checked & ~hit
-        dirty_victim = miss & self._dirty[sets, way]
+    def prime(
+        self, lines: np.ndarray, *, dirty: bool, known_resident: bool = False
+    ) -> None:
+        """Install lines directly, bypassing traffic accounting.
 
-        n_ddo = int(ddo.sum())
-        n_hit = int(checked_hit.sum())
-        n_miss = int(miss.sum())
-        n_dirty = int(dirty_victim.sum())
-
-        traffic.dram_writes += n_ddo
-        tags.ddo_writes += n_ddo
-
-        traffic.dram_reads += int(checked.sum())
-        tags.hits += n_hit
-        tags.clean_misses += n_miss - n_dirty
-        tags.dirty_misses += n_dirty
-        traffic.dram_writes += n_hit
-
-        traffic.nvram_writes += n_dirty
-        traffic.nvram_reads += n_miss
-        traffic.dram_writes += 2 * n_miss
-
-        write_mask = hit | miss  # everything lands in the cache
-        self._dirty[sets[write_mask], way[write_mask]] = True
-        miss_sets, miss_way = sets[miss], way[miss]
-        self._tags[miss_sets, miss_way] = lines[miss]
-        self._known_resident[miss_sets, miss_way] = False
-        self._touch(sets, way)
+        Each line lands in its hit way (refreshing recency) or the LRU
+        victim way, exactly as a demand access would place it, so later
+        occurrences win the way they would under real accesses.
+        """
+        lines = as_lines(lines)
+        seg = self._segmenter.segment(lines, lines % self.num_sets)
+        self._clock = _engine_ops.setassoc_prime_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident,
+            self._stamp, self._clock,
+            mark_dirty=dirty, mark_known_resident=known_resident,
+        )
 
     def contains(self, lines: np.ndarray) -> np.ndarray:
         lines = as_lines(lines)

@@ -2,19 +2,23 @@
 
 Implements exactly the protocol documented in :mod:`repro.cache.flow`
 (the Figure-3 flowchart), but processes whole batches of line addresses
-with numpy in a single O(n log n) pass per batch: the segmented engine
-(:mod:`repro.cache.engine`) groups each batch by set, resolves duplicate
-occurrences with closed-form recurrences, and applies every state update
-with array operations — no Python loop over collision rounds, so
-adversarial all-same-set batches cost the same as collision-free ones.
-The result is bit-for-bit equivalent to processing the batch one access
-at a time (property-tested against
-:class:`~repro.cache.flow.ReferenceCache`).
+with numpy in a single pass per batch: the segmented engine
+(:mod:`repro.cache.engine`) groups each batch by set with at most one
+stable argsort (none at all when the duplicate probe proves the batch
+collision-free), resolves duplicate occurrences with closed-form
+recurrences, and applies every state update with array operations — no
+Python loop over collision rounds, so adversarial all-same-set batches
+cost the same as collision-free ones.  The result is bit-for-bit
+equivalent to processing the batch one access at a time (property-tested
+against :class:`~repro.cache.flow.ReferenceCache` and the legacy
+round engine in :mod:`repro.cache.rounds`, which is kept for tests and
+benchmarks only).
 
-The superseded round decomposition — split the batch into rounds of
-pairwise-distinct sets, one ``np.unique`` sort per round — is kept as
-``engine="rounds"`` for review-time comparison and the old-vs-new
-benchmark (``benchmarks/test_cache_engine.py``).
+The one :class:`~repro.cache.engine.BatchSegmenter` per model also fuses
+the read-pass and write-pass telemetry: when ``llc_read`` and
+``llc_write`` see the same (immutable) line vector — the
+read-modify-write shape the executors generate — the second pass reuses
+the first pass's grouping, so the whole batch costs one argsort total.
 
 Tag storage: the real hardware keeps the tag plus line state in the
 spare ECC bits of each DRAM line (Section IV, Intel patent US 9563564).
@@ -24,7 +28,7 @@ direct-mapped cache and keeps the model exact.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -32,12 +36,10 @@ from repro.cache import engine as _engine_ops
 from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
-from repro.perf.segments import segment
+from repro.perf.segments import SegmentedBatch
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)
-
-_ENGINES = ("segmented", "rounds")
 
 
 class DirectMappedCache:
@@ -56,12 +58,10 @@ class DirectMappedCache:
         The real controller always inserts on a miss, even for writes
         that fully overwrite the line (Section IV-B).  Disabling gives
         the "write-around" design variant for ablations.
-    engine:
-        Batch-processing strategy: ``"segmented"`` (default) resolves
-        duplicates closed-form in one pass; ``"rounds"`` is the legacy
-        per-collision-round decomposition, kept for equivalence testing
-        and the old-vs-new benchmark.
     """
+
+    #: Metric family charged by :func:`record_cache_metrics`.
+    cache_kind = "direct_mapped"
 
     def __init__(
         self,
@@ -70,7 +70,6 @@ class DirectMappedCache:
         *,
         ddo_enabled: bool = True,
         insert_on_write_miss: bool = True,
-        engine: str = "segmented",
     ) -> None:
         if line_size <= 0 or capacity < line_size:
             raise ConfigurationError(
@@ -78,17 +77,15 @@ class DirectMappedCache:
             )
         if capacity % line_size:
             raise ConfigurationError("capacity must be a whole number of lines")
-        if engine not in _ENGINES:
-            raise ConfigurationError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.capacity = capacity
         self.line_size = line_size
         self.num_sets = capacity // line_size
         self.ddo_enabled = ddo_enabled
         self.insert_on_write_miss = insert_on_write_miss
-        self.engine = engine
         self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
         self._dirty = np.zeros(self.num_sets, dtype=bool)
         self._known_resident = np.zeros(self.num_sets, dtype=bool)
+        self._segmenter = _engine_ops.BatchSegmenter(self.num_sets)
 
     def reset(self) -> None:
         """Invalidate every set."""
@@ -96,32 +93,10 @@ class DirectMappedCache:
         self._dirty.fill(False)
         self._known_resident.fill(False)
 
-    # -- legacy batch decomposition (engine="rounds") -------------------------
-
-    def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
-        """Split a batch into rounds with pairwise-distinct sets.
-
-        Yields index arrays into ``lines``.  Occurrences of the same set
-        appear in successive rounds in their original order, so applying
-        each round's updates atomically is sequentially consistent.
-
-        Superseded by the closed-form segmented engine: this pays one
-        ``np.unique`` sort per collision round, so high-collision batches
-        degrade toward serial cost.  Kept while the engine is under
-        review, as the comparison baseline.
-        """
-        sets = lines % self.num_sets
-        remaining = np.arange(lines.size, dtype=np.int64)
-        while remaining.size:
-            _, first = np.unique(sets[remaining], return_index=True)
-            if first.size == remaining.size:
-                yield remaining
-                return
-            first.sort()
-            yield remaining[first]
-            keep = np.ones(remaining.size, dtype=bool)
-            keep[first] = False
-            remaining = remaining[keep]
+    def _segment(self, lines: np.ndarray) -> SegmentedBatch:
+        """Set-grouped view of the batch; one argsort at most, shared
+        with the other pass when the line vector is reused."""
+        return self._segmenter.segment(lines, lines % self.num_sets)
 
     # -- LLC read --------------------------------------------------------------
 
@@ -130,56 +105,39 @@ class DirectMappedCache:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_reads = int(lines.size)
-        # Research variants override the round hook; they must keep
-        # flowing through the round loop to see their customization.
-        if self.engine == "segmented" and type(self)._read_round is DirectMappedCache._read_round:
-            counts = _engine_ops.read_batch(
-                lines, lines % self.num_sets,
-                self._tags, self._dirty, self._known_resident,
-            )
-            # Every LLC read fetches tag+data from DRAM (the tag check);
-            # the miss handler adds NVRAM fetch + DRAM insert, plus a
-            # write-back when the victim is dirty.
-            traffic.dram_reads += counts.requests
-            traffic.nvram_reads += counts.misses
-            traffic.dram_writes += counts.misses
-            traffic.nvram_writes += counts.dirty_misses
-            tags.hits += counts.requests - counts.misses
-            tags.clean_misses += counts.misses - counts.dirty_misses
-            tags.dirty_misses += counts.dirty_misses
-        else:
-            for index in self._rounds(lines):
-                self._read_round(lines[index], traffic, tags)
-        record_cache_metrics("direct_mapped", traffic, tags)
+        self._apply_read(lines, self._segment(lines), traffic, tags)
+        record_cache_metrics(self.cache_kind, traffic, tags)
         return traffic, tags
 
-    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        resident = self._tags[sets]
-        hit = resident == lines
-        miss = ~hit
-        dirty_miss = miss & self._dirty[sets]
+    def _apply_read(
+        self,
+        lines: np.ndarray,
+        seg: SegmentedBatch,
+        traffic: Traffic,
+        tags: TagStats,
+    ) -> None:
+        """Engine-level read hook; research variants override this."""
+        counts, _ = _engine_ops.read_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident
+        )
+        self._charge_read(counts, traffic, tags)
 
-        n = int(lines.size)
-        n_miss = int(miss.sum())
-        n_dirty = int(dirty_miss.sum())
+    def _charge_read(
+        self, counts: _engine_ops.ReadCounts, traffic: Traffic, tags: TagStats
+    ) -> None:
+        """Baseline demand-read cost model, shared with the variants.
 
-        # Every LLC read fetches tag+data from DRAM (the tag check).
-        traffic.dram_reads += n
-        # Miss handler: NVRAM fetch + DRAM insert, write-back if dirty.
-        traffic.nvram_reads += n_miss
-        traffic.dram_writes += n_miss
-        traffic.nvram_writes += n_dirty
-
-        tags.hits += n - n_miss
-        tags.clean_misses += n_miss - n_dirty
-        tags.dirty_misses += n_dirty
-
-        miss_sets = sets[miss]
-        self._tags[miss_sets] = lines[miss]
-        self._dirty[miss_sets] = False
-        # A demand read has now checked every one of these tags.
-        self._known_resident[sets] = True
+        Every LLC read fetches tag+data from DRAM (the tag check); the
+        miss handler adds NVRAM fetch + DRAM insert, plus a write-back
+        when the victim is dirty.
+        """
+        traffic.dram_reads += counts.requests
+        traffic.nvram_reads += counts.misses
+        traffic.dram_writes += counts.misses
+        traffic.nvram_writes += counts.dirty_misses
+        tags.hits += counts.requests - counts.misses
+        tags.clean_misses += counts.misses - counts.dirty_misses
+        tags.dirty_misses += counts.dirty_misses
 
     # -- LLC write ---------------------------------------------------------------
 
@@ -188,85 +146,38 @@ class DirectMappedCache:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_writes = int(lines.size)
-        if self.engine == "segmented" and type(self)._write_round is DirectMappedCache._write_round:
-            counts = _engine_ops.write_batch(
-                lines, lines % self.num_sets,
-                self._tags, self._dirty, self._known_resident,
-                ddo_enabled=self.ddo_enabled,
-                insert_on_write_miss=self.insert_on_write_miss,
-            )
-            # DDO writes go straight to DRAM; everything else tag-checks
-            # first, hits update in place, and misses run the miss
-            # handler (insert) or stream to NVRAM (write-around).
-            traffic.dram_reads += counts.requests - counts.ddo_writes
-            traffic.dram_writes += counts.ddo_writes + counts.hits
-            if self.insert_on_write_miss:
-                traffic.nvram_reads += counts.misses
-                traffic.dram_writes += 2 * counts.misses
-                traffic.nvram_writes += counts.dirty_misses
-            else:
-                traffic.nvram_writes += counts.misses
-            tags.ddo_writes += counts.ddo_writes
-            tags.hits += counts.hits
-            tags.clean_misses += counts.misses - counts.dirty_misses
-            tags.dirty_misses += counts.dirty_misses
-        else:
-            for index in self._rounds(lines):
-                self._write_round(lines[index], traffic, tags)
-        record_cache_metrics("direct_mapped", traffic, tags)
+        self._apply_write(lines, self._segment(lines), traffic, tags)
+        record_cache_metrics(self.cache_kind, traffic, tags)
         return traffic, tags
 
-    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        resident = self._tags[sets]
-        match = resident == lines
-
-        if self.ddo_enabled:
-            ddo = match & self._known_resident[sets]
-        else:
-            ddo = np.zeros(lines.size, dtype=bool)
-        checked = ~ddo
-
-        hit = match & checked
-        miss = checked & ~match
-        dirty_miss = miss & self._dirty[sets]
-
-        n_ddo = int(ddo.sum())
-        n_checked = int(checked.sum())
-        n_hit = int(hit.sum())
-        n_miss = int(miss.sum())
-        n_dirty = int(dirty_miss.sum())
-
-        # DDO writes go straight to DRAM: one access, no tag check.
-        traffic.dram_writes += n_ddo
-        tags.ddo_writes += n_ddo
-        self._dirty[sets[ddo]] = True
-
-        # Everything else performs a tag check first.
-        traffic.dram_reads += n_checked
-        tags.hits += n_hit
-        tags.clean_misses += n_miss - n_dirty
-        tags.dirty_misses += n_dirty
-
-        # Write hits update the line in place.
-        traffic.dram_writes += n_hit
-        self._dirty[sets[hit]] = True
-
+    def _apply_write(
+        self,
+        lines: np.ndarray,
+        seg: SegmentedBatch,
+        traffic: Traffic,
+        tags: TagStats,
+    ) -> None:
+        """Engine-level write hook; research variants override this."""
+        counts = _engine_ops.write_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident,
+            ddo_enabled=self.ddo_enabled,
+            insert_on_write_miss=self.insert_on_write_miss,
+        )
+        # DDO writes go straight to DRAM; everything else tag-checks
+        # first, hits update in place, and misses run the miss handler
+        # (insert) or stream to NVRAM (write-around).
+        traffic.dram_reads += counts.requests - counts.ddo_writes
+        traffic.dram_writes += counts.ddo_writes + counts.hits
         if self.insert_on_write_miss:
-            # Always-insert: write back the evicted line if dirty, then
-            # NVRAM fetch + DRAM insert + the data write.
-            traffic.nvram_writes += n_dirty
-            traffic.nvram_reads += n_miss
-            traffic.dram_writes += 2 * n_miss
-            miss_sets = sets[miss]
-            self._tags[miss_sets] = lines[miss]
-            self._dirty[miss_sets] = True
-            # Installed by a write: no demand read has checked this tag.
-            self._known_resident[miss_sets] = False
+            traffic.nvram_reads += counts.misses
+            traffic.dram_writes += 2 * counts.misses
+            traffic.nvram_writes += counts.dirty_misses
         else:
-            # Write-around variant: send the incoming line straight to
-            # NVRAM; the set's occupant is left untouched.
-            traffic.nvram_writes += n_miss
+            traffic.nvram_writes += counts.misses
+        tags.ddo_writes += counts.ddo_writes
+        tags.hits += counts.hits
+        tags.clean_misses += counts.misses - counts.dirty_misses
+        tags.dirty_misses += counts.dirty_misses
 
     # -- priming and introspection --------------------------------------------
 
@@ -283,7 +194,7 @@ class DirectMappedCache:
         """
         lines = as_lines(lines)
         sets = lines % self.num_sets
-        seg = segment(sets)
+        seg = self._segmenter.segment(lines, sets)
         winners = seg.order[seg.last]  # each set's last occurrence, batch order
         self._tags[sets[winners]] = lines[winners]
         self._dirty[sets[winners]] = dirty

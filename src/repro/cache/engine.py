@@ -1,11 +1,11 @@
-"""Closed-form duplicate resolution for the direct-mapped cache.
+"""Closed-form duplicate resolution for the whole cache-model zoo.
 
-The direct-mapped model used to decompose every batch into collision
-rounds, paying one ``np.unique`` sort per round; a batch where many
-lines alias the same set (streaming writes that wrap the cache, the
-small-capacity ablation points, graph traces) degraded toward serial
-per-access cost — exactly the high-miss regime the paper cares about.
-This module removes the round loop entirely.
+Every cache model used to decompose batches into collision rounds,
+paying one ``np.unique`` sort per round; a batch where many lines alias
+the same set (streaming writes that wrap the cache, the small-capacity
+ablation points, graph traces) degraded toward serial per-access cost —
+exactly the high-miss regime the paper cares about.  This module removes
+the round loop from every production path.
 
 The key observation: within one batch of same-kind requests, only the
 *first* access to a set interacts with pre-batch cache state; every
@@ -14,41 +14,124 @@ preceding occurrence left behind.  Over the grouped view of a
 :class:`~repro.perf.segments.SegmentedBatch` that one-step recurrence
 has a closed form for each request kind:
 
-**Reads.**  Occurrence ``k`` hits iff its line equals the previous
-occurrence's line (for ``k = 0``, the resident tag).  A read miss
-installs a clean line, so at most one miss per set — the segment's
+**Direct-mapped reads.**  Occurrence ``k`` hits iff its line equals the
+previous occurrence's line (for ``k = 0``, the resident tag).  A read
+miss installs a clean line, so at most one miss per set — the segment's
 first — can evict pre-batch dirty state; every later miss is clean by
 construction.  Final state: the set holds the segment's last line,
 dirty only if the whole segment hit.
 
-**Writes, insert-on-miss.**  Every write leaves its set dirty, so every
-miss after a set's first occurrence is a dirty miss.  The Dirty Data
-Optimization needs the "known resident" bit, which survives only along
-an unbroken prefix of tag matches, so DDO applies to occurrence ``k``
-iff the set started known-resident and occurrences ``0..k`` all match —
-an exclusive segmented mismatch count of zero.  Final state: last line,
-dirty, known-resident only if the set started so and the whole segment
-matched.
+**Direct-mapped writes, insert-on-miss.**  Every write leaves its set
+dirty, so every miss after a set's first occurrence is a dirty miss.
+The Dirty Data Optimization needs the "known resident" bit, which
+survives only along an unbroken prefix of tag matches, so DDO applies
+to occurrence ``k`` iff the set started known-resident and occurrences
+``0..k`` all match — an exclusive segmented mismatch count of zero.
+Final state: last line, dirty, known-resident only if the set started
+so and the whole segment matched.
 
-**Writes, write-around.**  A write-around miss leaves the set untouched,
-so the resident tag never changes inside the batch: every occurrence
-compares against the pre-batch tag, and the set turns dirty at the
-first match (hit or DDO).  A miss is dirty iff the set started dirty or
-any earlier occurrence matched.
+**Direct-mapped writes, write-around.**  A write-around miss leaves the
+set untouched, so the resident tag never changes inside the batch:
+every occurrence compares against the pre-batch tag, and the set turns
+dirty at the first match (hit or DDO).  A miss is dirty iff the set
+started dirty or any earlier occurrence matched.
 
-Each formula is a handful of vectorized segment operations — two sorts
-and a few scans per batch, O(n log n) regardless of collision structure —
-and is property-tested bit-for-bit against the scalar
-:class:`~repro.cache.flow.ReferenceCache` (``tests/cache/test_engine_property.py``).
+**Sector caches.**  The tag recurrence is identical (after any access
+the sector tag equals that access's sector), so tag match/miss is
+closed-form.  Valid/dirty state is a per-line *bitmap* per set (one
+``uint64``), and segments split into *runs* at each sector miss (the
+miss resets the bitmaps).  Writes are fully closed-form: every write
+sets its line's valid+dirty bit, so each run's end state is a
+``bitwise_or.reduceat`` over the run, and the bitmap a sector miss
+evicts is exactly the previous run's end state.  Reads conditionally
+fetch a *footprint window* only when the demand line's valid bit is
+unset, which couples accesses through the bitmap; that recurrence has
+no closed form, but it is provably ``k``-bounded with
+``k <= sector_lines``: each footprint fill covers its own previously
+uncovered bit, so a run can contain at most ``sector_lines`` fills, and
+the monotone fill-resolution loop in :func:`sector_read_batch` retires
+at least one fill per active run per pass — independent of batch size.
+
+**Set-associative LRU.**  LRU stamps couple same-set occurrences of
+*different* lines (every access reorders the whole recency stack), so
+occurrence ``k``'s victim depends on the full prefix — the recurrence
+is resolved round-by-round over the rank partition of the one shared
+sort.  The bound is ``k = max same-set multiplicity`` and it is tight:
+a same-set chain of ``ways + 1`` alternating lines makes every access's
+hit/victim decision depend on the previous access's stamp update.
+Collision-free batches (the common uniform case) skip the loop and the
+sort entirely via the duplicate probe.
+
+Each closed form is a handful of vectorized segment operations — at
+most one stable argsort per batch (zero for probe-proven uniform
+batches, shared across the read and write pass when the line vector is
+reused) — and is property-tested bit-for-bit against scalar references
+(``tests/cache/test_engine_property.py``).
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
+import weakref
+from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
-from repro.perf.segments import segment
+from repro.perf.segments import DuplicateProbe, SegmentedBatch, segment
+
+_FULL_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+_ZERO = np.uint64(0)
+
+if hasattr(np, "bitwise_count"):
+    def popcount(bitmaps: np.ndarray) -> np.ndarray:
+        """Per-element set-bit count of a uint64 array, as int64."""
+        return np.bitwise_count(bitmaps).astype(np.int64)
+else:  # pragma: no cover - numpy < 2.0 fallback
+    def popcount(bitmaps: np.ndarray) -> np.ndarray:
+        """Per-element set-bit count of a uint64 array, as int64."""
+        as_bytes = np.ascontiguousarray(bitmaps).view(np.uint8)
+        bits = np.unpackbits(as_bytes).reshape(-1, 64)
+        return bits.sum(axis=1, dtype=np.int64)
+
+
+class BatchSegmenter:
+    """Per-model segmentation cache: at most one argsort per line batch.
+
+    Owns the model's :class:`~repro.perf.segments.DuplicateProbe` (so
+    probe-proven uniform batches skip the sort entirely) and remembers
+    the most recent batch's :class:`SegmentedBatch` keyed on array
+    identity.  A workload that feeds the same line vector to
+    ``llc_read`` and then ``llc_write`` — the read-modify-write shape of
+    the paper's microbenchmarks — therefore pays for exactly one stable
+    argsort across both passes.
+
+    Reuse is only offered for arrays marked non-writeable (the memoized
+    ``access_blocks()``/``lfsr_sequence()`` streams the executors feed
+    the backends), because a mutable array could change between the two
+    passes and silently invalidate the grouping.
+    """
+
+    __slots__ = ("num_sets", "_probe", "_last")
+
+    def __init__(self, num_sets: int) -> None:
+        self.num_sets = num_sets
+        self._probe = DuplicateProbe(num_sets)
+        self._last: Optional[Tuple[weakref.ref, SegmentedBatch]] = None
+
+    def segment(self, lines: np.ndarray, keys: np.ndarray) -> SegmentedBatch:
+        """Grouped view of ``keys`` (the per-model set indices of ``lines``)."""
+        cached = self._last
+        if cached is not None and cached[0]() is lines:
+            return cached[1]
+        seg = segment(keys, probe=self._probe)
+        if lines.size and not lines.flags.writeable:
+            self._last = (weakref.ref(lines), seg)
+        return seg
+
+
+# ---------------------------------------------------------------------------
+# Direct-mapped closed forms
+# ---------------------------------------------------------------------------
 
 
 class ReadCounts(NamedTuple):
@@ -71,18 +154,24 @@ class WriteCounts(NamedTuple):
 
 def read_batch(
     lines: np.ndarray,
-    sets: np.ndarray,
+    seg: SegmentedBatch,
     tags: np.ndarray,
     dirty: np.ndarray,
     known_resident: np.ndarray,
-) -> ReadCounts:
+    *,
+    want_misses: bool = False,
+) -> Tuple[ReadCounts, Optional[np.ndarray]]:
     """Apply a batch of LLC reads to direct-mapped state, in one pass.
 
+    ``seg`` is the grouped view of ``lines % num_sets`` (``seg.keys``).
     Mutates ``tags``/``dirty``/``known_resident`` in place and returns
-    the tag outcome counts; the caller owns traffic accounting.
+    the tag outcome counts; the caller owns traffic accounting.  With
+    ``want_misses`` the per-request miss mask (batch order) is returned
+    as well — the hook the research variants charge their own traffic
+    from.
     """
     n = int(lines.size)
-    seg = segment(sets)
+    sets = seg.keys
     if seg.collision_free:
         # No set is touched twice: the whole batch is one independent round.
         hit = tags[sets] == lines
@@ -93,7 +182,7 @@ def read_batch(
         tags[miss_sets] = lines[miss]
         dirty[miss_sets] = False
         known_resident[sets] = True
-        return ReadCounts(n, n_miss, n_dirty)
+        return ReadCounts(n, n_miss, n_dirty), (miss if want_misses else None)
 
     grouped_lines = lines[seg.order]
     grouped_sets = seg.sorted_keys
@@ -113,12 +202,16 @@ def read_batch(
     tags[lead_sets] = grouped_lines[seg.last]
     dirty[lead_sets] &= ~seg_missed
     known_resident[lead_sets] = True
-    return ReadCounts(n, n_miss, n_dirty)
+    if want_misses:
+        batch_miss = np.empty(n, dtype=bool)
+        batch_miss[seg.order] = miss
+        return ReadCounts(n, n_miss, n_dirty), batch_miss
+    return ReadCounts(n, n_miss, n_dirty), None
 
 
 def write_batch(
     lines: np.ndarray,
-    sets: np.ndarray,
+    seg: SegmentedBatch,
     tags: np.ndarray,
     dirty: np.ndarray,
     known_resident: np.ndarray,
@@ -132,11 +225,9 @@ def write_batch(
     counts; the caller owns traffic accounting (which differs between
     the insert-on-miss and write-around policies).
     """
-    n = int(lines.size)
-    seg = segment(sets)
     if seg.collision_free:
         return _write_distinct(
-            lines, sets, tags, dirty, known_resident,
+            lines, seg.keys, tags, dirty, known_resident,
             ddo_enabled=ddo_enabled, insert_on_write_miss=insert_on_write_miss,
         )
     if insert_on_write_miss:
@@ -181,7 +272,7 @@ def _write_distinct(
 
 def _write_insert(
     lines: np.ndarray,
-    seg,
+    seg: SegmentedBatch,
     tags: np.ndarray,
     dirty: np.ndarray,
     known_resident: np.ndarray,
@@ -217,7 +308,7 @@ def _write_insert(
 
 def _write_around(
     lines: np.ndarray,
-    seg,
+    seg: SegmentedBatch,
     tags: np.ndarray,
     dirty: np.ndarray,
     known_resident: np.ndarray,
@@ -243,3 +334,603 @@ def _write_around(
 
     dirty[lead_sets] |= seg.segment_total(match) > 0
     return WriteCounts(n, int(ddo.sum()), int(hit.sum()), int(miss.sum()), n_dirty)
+
+
+# ---------------------------------------------------------------------------
+# Sector (footprint) closed forms
+# ---------------------------------------------------------------------------
+
+
+class SectorReadCounts(NamedTuple):
+    """Outcomes of one batched sector-read pass (state already updated)."""
+
+    requests: int
+    hits: int
+    line_misses: int
+    sector_misses: int
+    dirty_sector_misses: int
+    #: Footprint lines fetched from NVRAM (= DRAM fill writes).
+    fetched_lines: int
+    #: Dirty lines written back by sector evictions.
+    evicted_lines: int
+
+
+class SectorWriteCounts(NamedTuple):
+    """Outcomes of one batched sector-write pass (state already updated)."""
+
+    requests: int
+    hits: int
+    sector_misses: int
+    dirty_sector_misses: int
+    #: Dirty lines written back by sector evictions.
+    evicted_lines: int
+
+
+def footprint_windows(
+    offsets: np.ndarray, footprint: int, sector_lines: int
+) -> np.ndarray:
+    """Per-demand uint64 bitmaps of the footprint window at each offset.
+
+    The window covers ``min(footprint, sector_lines - offset)`` lines
+    starting at the demand offset (fetch never crosses the sector end).
+    """
+    span = np.minimum(footprint, sector_lines - offsets)
+    full = span >= 64
+    mask = (_ONE << np.where(full, 0, span).astype(np.uint64)) - _ONE
+    mask = np.where(full, _FULL_MASK, mask)
+    return mask << offsets.astype(np.uint64)
+
+
+def _run_partition(
+    seg: SegmentedBatch, reset: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split segments into runs at each reset position (grouped order).
+
+    Returns ``(run_id, run_starts)``: runs are contiguous in the grouped
+    view, one per segment-first or reset position.
+    """
+    run_start = seg.first | reset
+    run_id = np.cumsum(run_start) - 1
+    return run_id, np.flatnonzero(run_start)
+
+
+def sector_read_batch(
+    sectors: np.ndarray,
+    offsets: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    valid: np.ndarray,
+    dirty: np.ndarray,
+    *,
+    footprint: int,
+    sector_lines: int,
+) -> SectorReadCounts:
+    """Apply a batch of LLC reads to sector-cache bitmap state.
+
+    ``seg`` groups the batch by *set index*; ``valid``/``dirty`` are
+    per-set uint64 line bitmaps.  The tag recurrence is closed-form; the
+    conditional footprint fills are resolved by a monotone loop bounded
+    by ``sector_lines`` passes (each pass retires one fill per active
+    run, and a run can hold at most ``sector_lines`` fills because every
+    fill covers its own previously-uncovered bit).
+    """
+    n = int(sectors.size)
+    if not n:
+        return SectorReadCounts(0, 0, 0, 0, 0, 0, 0)
+    windows = footprint_windows(offsets, footprint, sector_lines)
+    if seg.collision_free:
+        return _sector_read_distinct(
+            sectors, offsets, windows, seg.keys, tags, valid, dirty
+        )
+
+    g = seg.order
+    gs = sectors[g]
+    go = offsets[g].astype(np.uint64)
+    gw = windows[g]
+    gsets = seg.sorted_keys
+    lead_sets = gsets[seg.first]
+
+    prev = np.empty_like(gs)
+    prev[1:] = gs[:-1]
+    prev[seg.first] = tags[lead_sets]
+    tag_match = gs == prev
+    sector_miss = ~tag_match
+
+    run_id, run_starts = _run_partition(seg, sector_miss)
+    # A run opened by the segment's first access *matching* the resident
+    # sector starts from the pre-batch valid bitmap; every other run
+    # starts empty (a sector miss just reset it).
+    coverage = np.zeros(run_starts.size, dtype=np.uint64)
+    inherit = np.flatnonzero(seg.first & tag_match)
+    coverage[run_id[inherit]] = valid[gsets[inherit]]
+
+    # Monotone fill resolution: a covered demand bit stays covered (runs
+    # only accumulate), so covered accesses resolve as hits immediately;
+    # the first unresolved access of each run is then a definite fill.
+    fill = np.zeros(n, dtype=bool)
+    fetched = 0
+    todo = np.arange(n, dtype=np.int64)
+    while todo.size:
+        covered = (coverage[run_id[todo]] >> go[todo]) & _ONE != _ZERO
+        todo = todo[~covered]
+        if not todo.size:
+            break
+        rid = run_id[todo]
+        frontier = np.empty(todo.size, dtype=bool)
+        frontier[0] = True
+        frontier[1:] = rid[1:] != rid[:-1]
+        heads = todo[frontier]
+        head_runs = run_id[heads]
+        before = coverage[head_runs]
+        fetched += int(popcount(gw[heads] & ~before).sum())
+        fill[heads] = True
+        coverage[head_runs] = before | gw[heads]
+        todo = todo[~frontier]
+
+    n_hits = int((tag_match & ~fill).sum())
+    n_line_miss = int((tag_match & fill).sum())
+    n_sector_miss = int(sector_miss.sum())
+    # Reads never dirty lines, so only the segment's *first* sector miss
+    # can evict pre-batch dirty state; later victims are clean.
+    first_sector_miss = sector_miss & (seg.exclusive_count(sector_miss) == 0)
+    evict_source = dirty[gsets[first_sector_miss]]
+    n_dirty_miss = int((evict_source != _ZERO).sum())
+    evicted = int(popcount(evict_source).sum())
+
+    tags[lead_sets] = gs[seg.last]
+    valid[lead_sets] = coverage[run_id[seg.last]]
+    seg_missed = seg.segment_total(sector_miss) > 0
+    dirty[lead_sets] = np.where(seg_missed, _ZERO, dirty[lead_sets])
+    return SectorReadCounts(
+        n, n_hits, n_line_miss, n_sector_miss, n_dirty_miss, fetched, evicted
+    )
+
+
+def _sector_read_distinct(
+    sectors: np.ndarray,
+    offsets: np.ndarray,
+    windows: np.ndarray,
+    index: np.ndarray,
+    tags: np.ndarray,
+    valid: np.ndarray,
+    dirty: np.ndarray,
+) -> SectorReadCounts:
+    """Collision-free sector reads: one independent vectorized round."""
+    n = int(sectors.size)
+    tag_match = tags[index] == sectors
+    resident_valid = valid[index]
+    line_valid = (resident_valid >> offsets.astype(np.uint64)) & _ONE != _ZERO
+    hit = tag_match & line_valid
+    line_miss = tag_match & ~line_valid
+    sector_miss = ~tag_match
+
+    # Line misses fetch only the window bits not already valid; sector
+    # misses reset the bitmap first, so they fetch the whole window.
+    fetched = int(popcount(windows[line_miss] & ~resident_valid[line_miss]).sum())
+    fetched += int(popcount(windows[sector_miss]).sum())
+    evict_source = dirty[index[sector_miss]]
+    n_dirty_miss = int((evict_source != _ZERO).sum())
+    evicted = int(popcount(evict_source).sum())
+
+    lm_index = index[line_miss]
+    valid[lm_index] = resident_valid[line_miss] | windows[line_miss]
+    sm_index = index[sector_miss]
+    tags[sm_index] = sectors[sector_miss]
+    valid[sm_index] = windows[sector_miss]
+    dirty[sm_index] = _ZERO
+    return SectorReadCounts(
+        n,
+        int(hit.sum()),
+        int(line_miss.sum()),
+        int(sector_miss.sum()),
+        n_dirty_miss,
+        fetched,
+        evicted,
+    )
+
+
+def sector_write_batch(
+    sectors: np.ndarray,
+    offsets: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    valid: np.ndarray,
+    dirty: np.ndarray,
+) -> SectorWriteCounts:
+    """Apply a batch of LLC write-backs to sector-cache bitmap state.
+
+    Fully closed-form: every write sets its line's valid+dirty bit
+    unconditionally (a hit writes in place, a miss installs after
+    evicting), so each run's end-state bitmap is a single
+    ``bitwise_or.reduceat`` and the bitmap a sector miss evicts is
+    exactly the preceding run's end state.
+    """
+    n = int(sectors.size)
+    if not n:
+        return SectorWriteCounts(0, 0, 0, 0, 0)
+    bits = _ONE << offsets.astype(np.uint64)
+    if seg.collision_free:
+        index = seg.keys
+        tag_match = tags[index] == sectors
+        miss = ~tag_match
+        evict_source = dirty[index[miss]]
+        n_dirty_miss = int((evict_source != _ZERO).sum())
+        evicted = int(popcount(evict_source).sum())
+
+        hit_index = index[tag_match]
+        valid[hit_index] |= bits[tag_match]
+        dirty[hit_index] |= bits[tag_match]
+        miss_index = index[miss]
+        tags[miss_index] = sectors[miss]
+        valid[miss_index] = bits[miss]
+        dirty[miss_index] = bits[miss]
+        return SectorWriteCounts(
+            n, int(tag_match.sum()), int(miss.sum()), n_dirty_miss, evicted
+        )
+
+    g = seg.order
+    gs = sectors[g]
+    gb = bits[g]
+    gsets = seg.sorted_keys
+    lead_sets = gsets[seg.first]
+
+    prev = np.empty_like(gs)
+    prev[1:] = gs[:-1]
+    prev[seg.first] = tags[lead_sets]
+    tag_match = gs == prev
+    miss = ~tag_match
+
+    run_id, run_starts = _run_partition(seg, miss)
+    run_or = np.bitwise_or.reduceat(gb, run_starts)
+    run_init_valid = np.zeros(run_starts.size, dtype=np.uint64)
+    run_init_dirty = np.zeros(run_starts.size, dtype=np.uint64)
+    inherit = np.flatnonzero(seg.first & tag_match)
+    run_init_valid[run_id[inherit]] = valid[gsets[inherit]]
+    run_init_dirty[run_id[inherit]] = dirty[gsets[inherit]]
+
+    # The bitmap evicted by a miss: pre-batch state for a segment-opening
+    # miss, otherwise the end state of the run the miss terminates.
+    miss_pos = np.flatnonzero(miss)
+    opens_segment = seg.first[miss_pos]
+    evict_source = np.empty(miss_pos.size, dtype=np.uint64)
+    evict_source[opens_segment] = dirty[gsets[miss_pos[opens_segment]]]
+    closers = miss_pos[~opens_segment]
+    prev_run = run_id[closers] - 1
+    evict_source[~opens_segment] = run_init_dirty[prev_run] | run_or[prev_run]
+    n_dirty_miss = int((evict_source != _ZERO).sum())
+    evicted = int(popcount(evict_source).sum())
+
+    last_run = run_id[seg.last]
+    tags[lead_sets] = gs[seg.last]
+    valid[lead_sets] = run_init_valid[last_run] | run_or[last_run]
+    dirty[lead_sets] = run_init_dirty[last_run] | run_or[last_run]
+    return SectorWriteCounts(
+        n, int(tag_match.sum()), int(miss.sum()), n_dirty_miss, evicted
+    )
+
+
+# ---------------------------------------------------------------------------
+# Set-associative LRU (k-bounded round resolution)
+# ---------------------------------------------------------------------------
+
+
+def _lru_lookup(
+    sub_lines: np.ndarray,
+    sub_sets: np.ndarray,
+    tags: np.ndarray,
+    stamp: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-request (hit mask, way): the hit way or the LRU victim."""
+    matches = tags[sub_sets] == sub_lines[:, None]
+    hit = matches.any(axis=1)
+    hit_way = matches.argmax(axis=1)
+    victim_way = stamp[sub_sets].argmin(axis=1)
+    return hit, np.where(hit, hit_way, victim_way)
+
+
+def setassoc_read_batch(
+    lines: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    stamp: np.ndarray,
+    clock: np.int64,
+) -> Tuple[ReadCounts, np.int64]:
+    """Apply a batch of LLC reads to set-associative LRU state.
+
+    Collision-free batches are one vectorized round (no sort, via the
+    duplicate probe); otherwise the rank partition of the one shared
+    sort is resolved round-by-round — ``k = max same-set multiplicity``
+    rounds, which is tight for LRU (see the module docstring).
+    Returns the updated LRU clock alongside the counts.
+    """
+    n = int(lines.size)
+    n_miss = n_dirty = 0
+    sets = seg.keys
+    for index in seg.rounds():
+        sub_lines, sub_sets = lines[index], sets[index]
+        hit, way = _lru_lookup(sub_lines, sub_sets, tags, stamp)
+        miss = ~hit
+        dirty_victim = miss & dirty[sub_sets, way]
+        n_miss += int(miss.sum())
+        n_dirty += int(dirty_victim.sum())
+
+        miss_sets, miss_way = sub_sets[miss], way[miss]
+        tags[miss_sets, miss_way] = sub_lines[miss]
+        dirty[miss_sets, miss_way] = False
+        known_resident[sub_sets, way] = True
+        clock += 1
+        stamp[sub_sets, way] = clock
+    return ReadCounts(n, n_miss, n_dirty), clock
+
+
+def setassoc_write_batch(
+    lines: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    stamp: np.ndarray,
+    clock: np.int64,
+    *,
+    ddo_enabled: bool,
+) -> Tuple[WriteCounts, np.int64]:
+    """Apply a batch of LLC write-backs to set-associative LRU state."""
+    n = int(lines.size)
+    n_ddo = n_hit = n_miss = n_dirty = 0
+    sets = seg.keys
+    for index in seg.rounds():
+        sub_lines, sub_sets = lines[index], sets[index]
+        hit, way = _lru_lookup(sub_lines, sub_sets, tags, stamp)
+        if ddo_enabled:
+            ddo = hit & known_resident[sub_sets, way]
+        else:
+            ddo = np.zeros(sub_lines.size, dtype=bool)
+        checked_hit = hit & ~ddo
+        miss = ~hit
+        dirty_victim = miss & dirty[sub_sets, way]
+        n_ddo += int(ddo.sum())
+        n_hit += int(checked_hit.sum())
+        n_miss += int(miss.sum())
+        n_dirty += int(dirty_victim.sum())
+
+        dirty[sub_sets, way] = True
+        miss_sets, miss_way = sub_sets[miss], way[miss]
+        tags[miss_sets, miss_way] = sub_lines[miss]
+        known_resident[miss_sets, miss_way] = False
+        clock += 1
+        stamp[sub_sets, way] = clock
+    return WriteCounts(n, n_ddo, n_hit, n_miss, n_dirty), clock
+
+
+# ---------------------------------------------------------------------------
+# Research-variant closed forms
+# ---------------------------------------------------------------------------
+
+
+class BypassReadCounts(NamedTuple):
+    """Outcomes of one probabilistic-insertion read pass."""
+
+    requests: int
+    misses: int
+    allocations: int
+    #: Misses that found their set dirty at check time (tag accounting).
+    dirty_tagged: int
+    #: Allocations that actually evicted a pre-batch dirty line.
+    dirty_evictions: int
+
+
+def bypass_read_batch(
+    lines: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    insert_draw: np.ndarray,
+) -> BypassReadCounts:
+    """Apply a batch of BEAR-style probabilistic-insertion reads.
+
+    ``insert_draw`` (batch order) is the pre-drawn allocate coin per
+    request.  The closed form rests on one observation: the resident tag
+    after occurrence ``k`` equals the line of the *last draw-selected
+    occurrence* so far, regardless of hit/miss — a selected hit leaves
+    the tag equal to its own line, a selected miss installs it, and an
+    unselected access never changes it.  That makes the tag a segmented
+    last-where-selected gather, with no round-by-round dependence.
+    """
+    n = int(lines.size)
+    sets = seg.keys
+    if seg.collision_free:
+        hit = tags[sets] == lines
+        miss = ~hit
+        allocate = miss & insert_draw
+        dirty_tagged = miss & dirty[sets]
+        dirty_evict = allocate & dirty[sets]
+
+        alloc_sets = sets[allocate]
+        tags[alloc_sets] = lines[allocate]
+        dirty[alloc_sets] = False
+        known_resident[sets[hit | allocate]] = True
+        return BypassReadCounts(
+            n,
+            int(miss.sum()),
+            int(allocate.sum()),
+            int(dirty_tagged.sum()),
+            int(dirty_evict.sum()),
+        )
+
+    g = seg.order
+    gl = lines[g]
+    gd = insert_draw[g]
+    gsets = seg.sorted_keys
+    lead_sets = gsets[seg.first]
+    pos = np.arange(n, dtype=np.int64)
+    seg_start = seg.first_pos[seg.segment_id]
+
+    # Inclusive "last draw-selected position so far" via a running max;
+    # positions from earlier segments fall below the segment start.
+    last_drawn = np.maximum.accumulate(np.where(gd, pos, -1))
+    prev_drawn = np.empty_like(last_drawn)
+    prev_drawn[1:] = last_drawn[:-1]
+    prev_drawn[seg.first] = -1
+    has_prev = prev_drawn >= seg_start
+    resident = np.where(has_prev, gl[np.maximum(prev_drawn, 0)], tags[gsets])
+
+    hit = gl == resident
+    miss = ~hit
+    allocate = miss & gd
+    # Pre-batch dirty state survives until the segment's first allocation.
+    before_alloc = seg.exclusive_count(allocate) == 0
+    pre_dirty = dirty[gsets]
+    dirty_tagged = miss & pre_dirty & before_alloc
+    dirty_evict = allocate & pre_dirty & before_alloc
+
+    seg_alloc = seg.segment_total(allocate) > 0
+    final_drawn = last_drawn[seg.last]
+    # A segment's final tag is its last selected line; the gather is safe
+    # because seg_alloc implies at least one selected position (a
+    # selected hit re-installs its own value, which is a no-op).
+    seg_selected = final_drawn >= seg_start[seg.last]
+    chosen = np.flatnonzero(seg_selected)
+    tags[lead_sets[chosen]] = gl[final_drawn[chosen]]
+    dirty[lead_sets[seg_alloc]] = False
+    seg_touched = seg.segment_total(hit | allocate) > 0
+    known_resident[lead_sets[seg_touched]] = True
+    return BypassReadCounts(
+        n,
+        int(miss.sum()),
+        int(allocate.sum()),
+        int(dirty_tagged.sum()),
+        int(dirty_evict.sum()),
+    )
+
+
+class PrefetchCounts(NamedTuple):
+    """Outcomes of one next-line prefetch fill pass."""
+
+    installs: int
+    dirty_evictions: int
+
+
+def prefetch_fill_batch(
+    candidates: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+) -> PrefetchCounts:
+    """Install prefetch candidates, skipping already-resident lines.
+
+    Same recurrence as reads — a candidate installs iff it differs from
+    the previous occupant (the prior candidate, or the resident tag) —
+    but without hit accounting, and a set untouched by any install keeps
+    its ``known_resident`` bit unchanged.
+    """
+    n = int(candidates.size)
+    if not n:
+        return PrefetchCounts(0, 0)
+    sets = seg.keys
+    if seg.collision_free:
+        install = tags[sets] != candidates
+        dirty_evict = install & dirty[sets]
+        inst_sets = sets[install]
+        tags[inst_sets] = candidates[install]
+        dirty[inst_sets] = False
+        known_resident[inst_sets] = True
+        return PrefetchCounts(int(install.sum()), int(dirty_evict.sum()))
+
+    g = seg.order
+    gc = candidates[g]
+    gsets = seg.sorted_keys
+    lead_sets = gsets[seg.first]
+    prev = np.empty_like(gc)
+    prev[1:] = gc[:-1]
+    prev[seg.first] = tags[lead_sets]
+    install = gc != prev
+    first_install = install & (seg.exclusive_count(install) == 0)
+    dirty_evict = first_install & dirty[gsets]
+
+    seg_installed = seg.segment_total(install) > 0
+    tags[lead_sets] = gc[seg.last]
+    dirty[lead_sets] &= ~seg_installed
+    known_resident[lead_sets] |= seg_installed
+    return PrefetchCounts(int(install.sum()), int(dirty_evict.sum()))
+
+
+# ---------------------------------------------------------------------------
+# Priming (state installation without traffic accounting)
+# ---------------------------------------------------------------------------
+
+
+def sector_prime_batch(
+    sectors: np.ndarray,
+    offsets: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    valid: np.ndarray,
+    dirty: np.ndarray,
+    *,
+    mark_dirty: bool,
+) -> None:
+    """Install lines directly into sector bitmap state, later wins.
+
+    Sequential semantics: each line replaces the sector (fresh bitmap)
+    when its sector differs from the previous occupant, otherwise adds
+    its valid bit — so a set ends holding its last primed sector with
+    the bits of the trailing same-sector run, all closed-form via one
+    ``bitwise_or.reduceat`` over the run partition.
+    """
+    n = int(sectors.size)
+    if not n:
+        return
+    bits = _ONE << offsets.astype(np.uint64)
+    if seg.collision_free:
+        index = seg.keys
+        tags[index] = sectors
+        valid[index] = bits
+        dirty[index] = bits if mark_dirty else _ZERO
+        return
+    g = seg.order
+    gs = sectors[g]
+    gb = bits[g]
+    prev = np.empty_like(gs)
+    prev[1:] = gs[:-1]
+    prev[seg.first] = gs[seg.first]  # priming never inherits resident state
+    run_id, run_starts = _run_partition(seg, gs != prev)
+    run_or = np.bitwise_or.reduceat(gb, run_starts)
+    lead_sets = seg.sorted_keys[seg.first]
+    final = run_or[run_id[seg.last]]
+    tags[lead_sets] = gs[seg.last]
+    valid[lead_sets] = final
+    dirty[lead_sets] = final if mark_dirty else _ZERO
+
+
+def setassoc_prime_batch(
+    lines: np.ndarray,
+    seg: SegmentedBatch,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    known_resident: np.ndarray,
+    stamp: np.ndarray,
+    clock: np.int64,
+    *,
+    mark_dirty: bool,
+    mark_known_resident: bool,
+) -> np.int64:
+    """Install lines into LRU state directly, later occurrences winning.
+
+    Each line lands in its hit way (refreshing recency) or the LRU
+    victim way, exactly as a demand access would place it, but with the
+    caller-chosen dirty/known-resident marks and no traffic.
+    """
+    sets = seg.keys
+    for index in seg.rounds():
+        sub_lines, sub_sets = lines[index], sets[index]
+        _, way = _lru_lookup(sub_lines, sub_sets, tags, stamp)
+        tags[sub_sets, way] = sub_lines
+        dirty[sub_sets, way] = mark_dirty
+        known_resident[sub_sets, way] = mark_known_resident
+        clock += 1
+        stamp[sub_sets, way] = clock
+    return clock

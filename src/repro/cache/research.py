@@ -20,15 +20,27 @@ pathology the published techniques would recover:
 All three inherit the exact Figure-3 protocol for the paths they do not
 modify, so comparisons against the Cascade Lake baseline are
 apples-to-apples.
+
+Each variant overrides the engine-level ``_apply_read`` hook of
+:class:`~repro.cache.direct_mapped.DirectMappedCache`, so they run the
+same one-argsort closed-form batch engine as the baseline instead of
+falling back to per-round processing: the predictor consumes the
+engine's per-request miss mask, the bypass policy has its own segmented
+closed form (:func:`repro.cache.engine.bypass_read_batch`), and the
+prefetcher runs the demand pass then installs its candidates with
+:func:`repro.cache.engine.prefetch_fill_batch`.  Random draws (predictor
+correctness, insertion coins) are made once per batch in request order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache import engine as _engine_ops
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
+from repro.perf.segments import SegmentedBatch
 from repro.units import CACHE_LINE
 
 
@@ -58,40 +70,37 @@ class MissPredictorCache(DirectMappedCache):
         self.accuracy = accuracy
         self._rng = np.random.default_rng(seed)
 
-    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        resident = self._tags[sets]
-        hit = resident == lines
+    def _apply_read(
+        self,
+        lines: np.ndarray,
+        seg: SegmentedBatch,
+        traffic: Traffic,
+        tags: TagStats,
+    ) -> None:
+        counts, miss = _engine_ops.read_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident,
+            want_misses=True,
+        )
+        hit = ~miss
         correct = self._rng.random(lines.size) < self.accuracy
-        predicted_hit = np.where(correct, hit, ~hit)
+        predicted_hit = np.where(correct, hit, miss)
 
-        miss = ~hit
-        dirty_miss = miss & self._dirty[sets]
-
-        # Tag-check DRAM reads happen only on predicted hits...
-        traffic.dram_reads += int(predicted_hit.sum())
-        # ...plus a verification read when a predicted miss was a hit.
+        # Tag-check DRAM reads happen only on predicted hits, plus a
+        # verification read when a predicted miss was actually a hit —
+        # which also speculatively fetched from NVRAM for nothing.
         mispredicted_hit = hit & ~predicted_hit
+        traffic.dram_reads += int(predicted_hit.sum())
         traffic.dram_reads += int(mispredicted_hit.sum())
-        # A mispredicted hit speculatively fetched from NVRAM for nothing.
         traffic.nvram_reads += int(mispredicted_hit.sum())
 
-        n_miss = int(miss.sum())
-        n_dirty = int(dirty_miss.sum())
-        traffic.nvram_reads += n_miss
-        traffic.dram_writes += n_miss
-        traffic.nvram_writes += n_dirty
-        # Predicted hits that actually missed already paid their tag
-        # check above; the miss handler proceeds as in the baseline.
-
-        tags.hits += int(hit.sum())
-        tags.clean_misses += n_miss - n_dirty
-        tags.dirty_misses += n_dirty
-
-        miss_sets = sets[miss]
-        self._tags[miss_sets] = lines[miss]
-        self._dirty[miss_sets] = False
-        self._known_resident[sets] = True
+        # The miss handler proceeds as in the baseline (predicted hits
+        # that actually missed already paid their tag check above).
+        traffic.nvram_reads += counts.misses
+        traffic.dram_writes += counts.misses
+        traffic.nvram_writes += counts.dirty_misses
+        tags.hits += counts.requests - counts.misses
+        tags.clean_misses += counts.misses - counts.dirty_misses
+        tags.dirty_misses += counts.dirty_misses
 
 
 class BypassCache(DirectMappedCache):
@@ -119,35 +128,24 @@ class BypassCache(DirectMappedCache):
         self.insert_probability = insert_probability
         self._rng = np.random.default_rng(seed)
 
-    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        resident = self._tags[sets]
-        hit = resident == lines
-        miss = ~hit
-        allocate = miss & (self._rng.random(lines.size) < self.insert_probability)
-        bypass = miss & ~allocate
-        dirty_victim = allocate & self._dirty[sets]
-
-        n = int(lines.size)
-        n_miss = int(miss.sum())
-        n_alloc = int(allocate.sum())
-        n_dirty = int(dirty_victim.sum())
-
-        traffic.dram_reads += n  # every request still tag-checks
-        traffic.nvram_reads += n_miss  # demand fetch, allocated or not
-        traffic.dram_writes += n_alloc  # fills only for allocations
-        traffic.nvram_writes += n_dirty
-
-        tags.hits += n - n_miss
-        dirty_tagged = miss & self._dirty[sets]
-        tags.dirty_misses += int(dirty_tagged.sum())
-        tags.clean_misses += n_miss - int(dirty_tagged.sum())
-
-        alloc_sets = sets[allocate]
-        self._tags[alloc_sets] = lines[allocate]
-        self._dirty[alloc_sets] = False
-        self._known_resident[sets[hit | allocate]] = True
-        del bypass  # bypassed lines leave the set untouched
+    def _apply_read(
+        self,
+        lines: np.ndarray,
+        seg: SegmentedBatch,
+        traffic: Traffic,
+        tags: TagStats,
+    ) -> None:
+        draw = self._rng.random(lines.size) < self.insert_probability
+        counts = _engine_ops.bypass_read_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident, draw
+        )
+        traffic.dram_reads += counts.requests  # every request still tag-checks
+        traffic.nvram_reads += counts.misses  # demand fetch, allocated or not
+        traffic.dram_writes += counts.allocations  # fills only for allocations
+        traffic.nvram_writes += counts.dirty_evictions
+        tags.hits += counts.requests - counts.misses
+        tags.dirty_misses += counts.dirty_tagged
+        tags.clean_misses += counts.misses - counts.dirty_tagged
 
 
 class NextLinePrefetchCache(DirectMappedCache):
@@ -155,36 +153,32 @@ class NextLinePrefetchCache(DirectMappedCache):
 
     Every demand read miss also fetches line+1 from NVRAM and installs
     it (unless already resident), paying the usual fill and possible
-    dirty write-back for the prefetch victim.
+    dirty write-back for the prefetch victim.  The batch runs as a
+    demand pass followed by a prefetch pass: candidates (successors of
+    the demand misses) install in request order, later candidates
+    winning, each skipped when it already matches the set's occupant.
     """
 
-    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
-        sets = lines % self.num_sets
-        demand_miss = self._tags[sets] != lines  # observed before handling
-        super()._read_round(lines, traffic, tags)
-        if not demand_miss.any():
+    def _apply_read(
+        self,
+        lines: np.ndarray,
+        seg: SegmentedBatch,
+        traffic: Traffic,
+        tags: TagStats,
+    ) -> None:
+        counts, miss = _engine_ops.read_batch(
+            lines, seg, self._tags, self._dirty, self._known_resident,
+            want_misses=True,
+        )
+        self._charge_read(counts, traffic, tags)
+        if not counts.misses:
             return
 
-        # Prefetch candidates: successors of this round's demand misses
-        # that are not already resident (including lines the round just
-        # installed).
-        candidates = np.unique(lines[demand_miss] + 1)
-        cand_sets = candidates % self.num_sets
-        absent = self._tags[cand_sets] != candidates
-        prefetch = candidates[absent]
-        if not prefetch.size:
-            return
-        # Keep one candidate per set so vectorized installs are exact.
-        pf_sets = prefetch % self.num_sets
-        _, first = np.unique(pf_sets, return_index=True)
-        prefetch = prefetch[np.sort(first)]
-        pf_sets = prefetch % self.num_sets
-        dirty_victim = self._dirty[pf_sets]
-
-        traffic.nvram_reads += int(prefetch.size)
-        traffic.dram_writes += int(prefetch.size)
-        traffic.nvram_writes += int(dirty_victim.sum())
-
-        self._tags[pf_sets] = prefetch
-        self._dirty[pf_sets] = False
-        self._known_resident[pf_sets] = True
+        candidates = lines[miss] + 1
+        pf_seg = self._segmenter.segment(candidates, candidates % self.num_sets)
+        fills = _engine_ops.prefetch_fill_batch(
+            candidates, pf_seg, self._tags, self._dirty, self._known_resident
+        )
+        traffic.nvram_reads += fills.installs
+        traffic.dram_writes += fills.installs
+        traffic.nvram_writes += fills.dirty_evictions

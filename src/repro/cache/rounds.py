@@ -1,0 +1,429 @@
+"""Legacy per-round cache engines — tests and benchmarks only.
+
+These are the superseded batch decompositions: split each batch into
+rounds of pairwise-distinct sets (one ``np.unique`` sort per round, so
+high-collision batches degrade toward serial cost) and apply each round
+with the original vectorized round bodies.  The production models in
+:mod:`repro.cache.direct_mapped`, :mod:`repro.cache.sector`, and
+:mod:`repro.cache.alternatives` replaced them with the one-sort
+closed-form engine (:mod:`repro.cache.engine`); this module keeps the
+old path importable as
+
+* the second independent reference (besides the scalar
+  :class:`~repro.cache.flow.ReferenceCache`) for equivalence tests, and
+* the "old" side of the old-vs-new benchmark
+  (``benchmarks/test_cache_engine.py``).
+
+It is deliberately **not** exported from :mod:`repro.cache`: production
+code must not construct these (the SEG001 repro-lint rule bans round
+loops in hot paths everywhere else).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.cache.base import as_lines
+from repro.errors import ConfigurationError
+from repro.memsys.counters import TagStats, Traffic
+from repro.units import CACHE_LINE
+
+_INVALID = np.int64(-1)
+
+
+def _unique_rounds(sets: np.ndarray) -> Iterator[np.ndarray]:
+    """Split a batch into rounds with pairwise-distinct sets.
+
+    Yields index arrays into the batch.  Occurrences of the same set
+    appear in successive rounds in their original order, so applying
+    each round's updates atomically is sequentially consistent.  Pays
+    one ``np.unique`` sort per collision round — the cost the segmented
+    engine exists to avoid.
+    """
+    remaining = np.arange(sets.size, dtype=np.int64)
+    while remaining.size:
+        _, first = np.unique(sets[remaining], return_index=True)
+        if first.size == remaining.size:
+            yield remaining
+            return
+        first.sort()
+        yield remaining[first]
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[first] = False
+        remaining = remaining[keep]
+
+
+class RoundsDirectMappedCache:
+    """The pre-closed-form direct-mapped model (reference only)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        *,
+        ddo_enabled: bool = True,
+        insert_on_write_miss: bool = True,
+    ) -> None:
+        if line_size <= 0 or capacity < line_size:
+            raise ConfigurationError(
+                f"cache needs at least one {line_size}B line, got {capacity} bytes"
+            )
+        if capacity % line_size:
+            raise ConfigurationError("capacity must be a whole number of lines")
+        self.capacity = capacity
+        self.line_size = line_size
+        self.num_sets = capacity // line_size
+        self.ddo_enabled = ddo_enabled
+        self.insert_on_write_miss = insert_on_write_miss
+        self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
+        self._dirty = np.zeros(self.num_sets, dtype=bool)
+        self._known_resident = np.zeros(self.num_sets, dtype=bool)
+
+    def reset(self) -> None:
+        self._tags.fill(_INVALID)
+        self._dirty.fill(False)
+        self._known_resident.fill(False)
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = int(lines.size)
+        for index in _unique_rounds(lines % self.num_sets):
+            self._read_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        hit = self._tags[sets] == lines
+        miss = ~hit
+        dirty_miss = miss & self._dirty[sets]
+
+        n = int(lines.size)
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_miss.sum())
+
+        traffic.dram_reads += n
+        traffic.nvram_reads += n_miss
+        traffic.dram_writes += n_miss
+        traffic.nvram_writes += n_dirty
+        tags.hits += n - n_miss
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+
+        miss_sets = sets[miss]
+        self._tags[miss_sets] = lines[miss]
+        self._dirty[miss_sets] = False
+        self._known_resident[sets] = True
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = int(lines.size)
+        for index in _unique_rounds(lines % self.num_sets):
+            self._write_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        match = self._tags[sets] == lines
+
+        if self.ddo_enabled:
+            ddo = match & self._known_resident[sets]
+        else:
+            ddo = np.zeros(lines.size, dtype=bool)
+        checked = ~ddo
+
+        hit = match & checked
+        miss = checked & ~match
+        dirty_miss = miss & self._dirty[sets]
+
+        n_ddo = int(ddo.sum())
+        n_hit = int(hit.sum())
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_miss.sum())
+
+        traffic.dram_writes += n_ddo
+        tags.ddo_writes += n_ddo
+        self._dirty[sets[ddo]] = True
+
+        traffic.dram_reads += int(checked.sum())
+        tags.hits += n_hit
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+
+        traffic.dram_writes += n_hit
+        self._dirty[sets[hit]] = True
+
+        if self.insert_on_write_miss:
+            traffic.nvram_writes += n_dirty
+            traffic.nvram_reads += n_miss
+            traffic.dram_writes += 2 * n_miss
+            miss_sets = sets[miss]
+            self._tags[miss_sets] = lines[miss]
+            self._dirty[miss_sets] = True
+            self._known_resident[miss_sets] = False
+        else:
+            traffic.nvram_writes += n_miss
+
+
+class RoundsSectorCache:
+    """The pre-closed-form sector model: boolean bit matrices, rounds."""
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        *,
+        sector_lines: int = 32,
+        footprint: int = 4,
+    ) -> None:
+        if sector_lines < 1 or footprint < 1:
+            raise ConfigurationError("sector_lines and footprint must be >= 1")
+        if footprint > sector_lines:
+            raise ConfigurationError("footprint cannot exceed the sector size")
+        sector_bytes = sector_lines * line_size
+        if capacity < sector_bytes or capacity % sector_bytes:
+            raise ConfigurationError(
+                f"capacity must be a positive multiple of the {sector_bytes}B sector"
+            )
+        self.capacity = capacity
+        self.line_size = line_size
+        self.sector_lines = sector_lines
+        self.footprint = footprint
+        self.num_sets = capacity // sector_bytes
+        self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
+        self._valid = np.zeros((self.num_sets, sector_lines), dtype=bool)
+        self._dirty = np.zeros((self.num_sets, sector_lines), dtype=bool)
+
+    def reset(self) -> None:
+        self._tags.fill(_INVALID)
+        self._valid.fill(False)
+        self._dirty.fill(False)
+
+    def _decompose(self, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sector = lines // self.sector_lines
+        offset = lines - sector * self.sector_lines
+        index = sector % self.num_sets
+        return sector, offset, index
+
+    def _install_sector(
+        self, index: np.ndarray, sector: np.ndarray, traffic: Traffic
+    ) -> None:
+        dirty_lines = self._dirty[index].sum(axis=1)
+        traffic.nvram_writes += int(dirty_lines.sum())
+        self._tags[index] = sector
+        self._valid[index] = False
+        self._dirty[index] = False
+
+    def _footprint_fill(
+        self, index: np.ndarray, offset: np.ndarray, traffic: Traffic
+    ) -> None:
+        span = np.minimum(self.footprint, self.sector_lines - offset)
+        cols = np.arange(self.sector_lines)
+        window = (cols[None, :] >= offset[:, None]) & (
+            cols[None, :] < (offset + span)[:, None]
+        )
+        fresh = window & ~self._valid[index]
+        fetched = int(fresh.sum())
+        traffic.nvram_reads += fetched
+        traffic.dram_writes += fetched
+        self._valid[index] |= window
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = int(lines.size)
+        index = (lines // self.sector_lines) % self.num_sets
+        for idx in _unique_rounds(index):
+            self._read_round(lines[idx], traffic, tags)
+        return traffic, tags
+
+    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sector, offset, index = self._decompose(lines)
+        tag_match = self._tags[index] == sector
+        line_valid = tag_match & self._valid[index, offset]
+
+        traffic.dram_reads += int(lines.size)
+        tags.hits += int(line_valid.sum())
+
+        line_miss = tag_match & ~line_valid
+        n_line_miss = int(line_miss.sum())
+        if n_line_miss:
+            self._footprint_fill(index[line_miss], offset[line_miss], traffic)
+        tags.clean_misses += n_line_miss
+
+        sector_miss = ~tag_match
+        if sector_miss.any():
+            miss_index = index[sector_miss]
+            dirty_victims = self._dirty[miss_index].any(axis=1)
+            tags.dirty_misses += int(dirty_victims.sum())
+            tags.clean_misses += int((~dirty_victims).sum())
+            self._install_sector(miss_index, sector[sector_miss], traffic)
+            self._footprint_fill(miss_index, offset[sector_miss], traffic)
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = int(lines.size)
+        index = (lines // self.sector_lines) % self.num_sets
+        for idx in _unique_rounds(index):
+            self._write_round(lines[idx], traffic, tags)
+        return traffic, tags
+
+    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sector, offset, index = self._decompose(lines)
+        tag_match = self._tags[index] == sector
+
+        traffic.dram_reads += int(lines.size)
+        tags.hits += int(tag_match.sum())
+        traffic.dram_writes += int(tag_match.sum())
+        self._valid[index[tag_match], offset[tag_match]] = True
+        self._dirty[index[tag_match], offset[tag_match]] = True
+
+        miss = ~tag_match
+        if miss.any():
+            miss_index = index[miss]
+            dirty_victims = self._dirty[miss_index].any(axis=1)
+            tags.dirty_misses += int(dirty_victims.sum())
+            tags.clean_misses += int((~dirty_victims).sum())
+            self._install_sector(miss_index, sector[miss], traffic)
+            traffic.dram_writes += int(miss.sum())
+            self._valid[miss_index, offset[miss]] = True
+            self._dirty[miss_index, offset[miss]] = True
+
+    def contains(self, lines: np.ndarray) -> np.ndarray:
+        lines = as_lines(lines)
+        sector, offset, index = self._decompose(lines)
+        return (self._tags[index] == sector) & self._valid[index, offset]
+
+
+class RoundsSetAssociativeCache:
+    """The pre-closed-form LRU set-associative model (reference only)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        *,
+        ways: int = 8,
+        ddo_enabled: bool = True,
+    ) -> None:
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive, got {ways}")
+        if capacity % (line_size * ways):
+            raise ConfigurationError(
+                f"capacity {capacity} is not divisible into {ways}-way sets"
+            )
+        self.capacity = capacity
+        self.line_size = line_size
+        self.ways = ways
+        self.num_sets = capacity // (line_size * ways)
+        self.ddo_enabled = ddo_enabled
+        self._tags = np.full((self.num_sets, ways), _INVALID, dtype=np.int64)
+        self._dirty = np.zeros((self.num_sets, ways), dtype=bool)
+        self._known_resident = np.zeros((self.num_sets, ways), dtype=bool)
+        self._stamp = np.zeros((self.num_sets, ways), dtype=np.int64)
+        self._clock = np.int64(0)
+
+    def reset(self) -> None:
+        self._tags.fill(_INVALID)
+        self._dirty.fill(False)
+        self._known_resident.fill(False)
+        self._stamp.fill(0)
+        self._clock = np.int64(0)
+
+    def _lookup(self, sets: np.ndarray, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        matches = self._tags[sets] == lines[:, None]
+        hit = matches.any(axis=1)
+        hit_way = matches.argmax(axis=1)
+        victim_way = self._stamp[sets].argmin(axis=1)
+        return hit, np.where(hit, hit_way, victim_way)
+
+    def _touch(self, sets: np.ndarray, way: np.ndarray) -> None:
+        self._clock += 1
+        self._stamp[sets, way] = self._clock
+
+    def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = int(lines.size)
+        for index in _unique_rounds(lines % self.num_sets):
+            self._read_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        hit, way = self._lookup(sets, lines)
+        miss = ~hit
+        dirty_victim = miss & self._dirty[sets, way]
+
+        n = int(lines.size)
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_victim.sum())
+
+        traffic.dram_reads += n
+        traffic.nvram_reads += n_miss
+        traffic.dram_writes += n_miss
+        traffic.nvram_writes += n_dirty
+        tags.hits += n - n_miss
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+
+        miss_sets, miss_way = sets[miss], way[miss]
+        self._tags[miss_sets, miss_way] = lines[miss]
+        self._dirty[miss_sets, miss_way] = False
+        self._known_resident[sets, way] = True
+        self._touch(sets, way)
+
+    def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
+        lines = as_lines(lines)
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = int(lines.size)
+        for index in _unique_rounds(lines % self.num_sets):
+            self._write_round(lines[index], traffic, tags)
+        return traffic, tags
+
+    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+        sets = lines % self.num_sets
+        hit, way = self._lookup(sets, lines)
+
+        if self.ddo_enabled:
+            ddo = hit & self._known_resident[sets, way]
+        else:
+            ddo = np.zeros(lines.size, dtype=bool)
+        checked = ~ddo
+        checked_hit = hit & checked
+        miss = checked & ~hit
+        dirty_victim = miss & self._dirty[sets, way]
+
+        n_ddo = int(ddo.sum())
+        n_hit = int(checked_hit.sum())
+        n_miss = int(miss.sum())
+        n_dirty = int(dirty_victim.sum())
+
+        traffic.dram_writes += n_ddo
+        tags.ddo_writes += n_ddo
+
+        traffic.dram_reads += int(checked.sum())
+        tags.hits += n_hit
+        tags.clean_misses += n_miss - n_dirty
+        tags.dirty_misses += n_dirty
+        traffic.dram_writes += n_hit
+
+        traffic.nvram_writes += n_dirty
+        traffic.nvram_reads += n_miss
+        traffic.dram_writes += 2 * n_miss
+
+        write_mask = hit | miss
+        self._dirty[sets[write_mask], way[write_mask]] = True
+        miss_sets, miss_way = sets[miss], way[miss]
+        self._tags[miss_sets, miss_way] = lines[miss]
+        self._known_resident[miss_sets, miss_way] = False
+        self._touch(sets, way)
+
+    def contains(self, lines: np.ndarray) -> np.ndarray:
+        lines = as_lines(lines)
+        sets = lines % self.num_sets
+        return (self._tags[sets] == lines[:, None]).any(axis=1)

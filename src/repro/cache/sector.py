@@ -15,18 +15,28 @@ model captures their bandwidth behaviour:
 
 Compared with the Cascade Lake design, sector caches trade conflict
 behaviour (fewer, larger sets) for spatial prefetch and cheaper tags.
+
+Per-line valid/dirty state is a single ``uint64`` bitmap per set (which
+caps ``sector_lines`` at 64 — every configuration the paper's lineage
+uses fits), so the segmented engine (:mod:`repro.cache.engine`) can
+resolve whole batches with bitwise closed forms: writes in one pass of
+``bitwise_or.reduceat`` over the miss-delimited run partition, reads
+with a fill-resolution loop bounded by ``sector_lines`` — never by
+batch size.  The legacy per-round path lives on in
+:class:`repro.cache.rounds.RoundsSectorCache` for tests only.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
+from repro.cache import engine as _engine_ops
 from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
 from repro.memsys.counters import TagStats, Traffic
-from repro.perf.segments import segment
+from repro.perf.segments import SegmentedBatch
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)
@@ -34,6 +44,8 @@ _INVALID = np.int64(-1)
 
 class SectorCache:
     """Direct-mapped sector cache with footprint fetch."""
+
+    cache_kind = "sector"
 
     def __init__(
         self,
@@ -45,6 +57,10 @@ class SectorCache:
     ) -> None:
         if sector_lines < 1 or footprint < 1:
             raise ConfigurationError("sector_lines and footprint must be >= 1")
+        if sector_lines > 64:
+            raise ConfigurationError(
+                f"sector_lines must fit a 64-bit line bitmap, got {sector_lines}"
+            )
         if footprint > sector_lines:
             raise ConfigurationError("footprint cannot exceed the sector size")
         sector_bytes = sector_lines * line_size
@@ -58,13 +74,15 @@ class SectorCache:
         self.footprint = footprint
         self.num_sets = capacity // sector_bytes  # sector-granularity sets
         self._tags = np.full(self.num_sets, _INVALID, dtype=np.int64)
-        self._valid = np.zeros((self.num_sets, sector_lines), dtype=bool)
-        self._dirty = np.zeros((self.num_sets, sector_lines), dtype=bool)
+        # One valid/dirty bit per line, packed per set.
+        self._valid = np.zeros(self.num_sets, dtype=np.uint64)
+        self._dirty = np.zeros(self.num_sets, dtype=np.uint64)
+        self._segmenter = _engine_ops.BatchSegmenter(self.num_sets)
 
     def reset(self) -> None:
         self._tags.fill(_INVALID)
-        self._valid.fill(False)
-        self._dirty.fill(False)
+        self._valid.fill(0)
+        self._dirty.fill(0)
 
     # -- geometry ----------------------------------------------------------
 
@@ -74,131 +92,86 @@ class SectorCache:
         index = sector % self.num_sets
         return sector, offset, index
 
-    def _rounds(self, lines: np.ndarray) -> Iterator[np.ndarray]:
-        """Rank-partitioned rounds of pairwise-distinct sets, one sort.
-
-        Per-line valid bitmaps make the same-set recurrence stateful in a
-        way the closed-form direct-mapped engine cannot collapse, so the
-        sector cache keeps round processing — but derives every round
-        from a single segmented sort instead of one ``np.unique`` per
-        collision round.
-        """
-        index = (lines // self.sector_lines) % self.num_sets
-        return segment(index).rounds()
-
-    # -- shared miss machinery ------------------------------------------------
-
-    def _install_sector(
-        self, index: np.ndarray, sector: np.ndarray, traffic: Traffic
-    ) -> None:
-        """Evict old sectors (dirty lines only) and install fresh tags."""
-        dirty_lines = self._dirty[index].sum(axis=1)
-        traffic.nvram_writes += int(dirty_lines.sum())
-        self._tags[index] = sector
-        self._valid[index] = False
-        self._dirty[index] = False
-
-    def _footprint_fill(
-        self, index: np.ndarray, offset: np.ndarray, traffic: Traffic
-    ) -> None:
-        """Fetch ``footprint`` lines starting at the demand offset.
-
-        Already-valid lines in the window are not refetched.
-        """
-        span = np.minimum(self.footprint, self.sector_lines - offset)
-        cols = np.arange(self.sector_lines)
-        window = (cols[None, :] >= offset[:, None]) & (
-            cols[None, :] < (offset + span)[:, None]
-        )
-        fresh = window & ~self._valid[index]
-        fetched = int(fresh.sum())
-        traffic.nvram_reads += fetched
-        traffic.dram_writes += fetched
-        self._valid[index] |= window
-
     # -- LLC interface ---------------------------------------------------------
 
     def llc_read(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_reads = int(lines.size)
-        for idx in self._rounds(lines):
-            self._read_round(lines[idx], traffic, tags)
-        record_cache_metrics("sector", traffic, tags)
-        return traffic, tags
-
-    def _read_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
         sector, offset, index = self._decompose(lines)
-        tag_match = self._tags[index] == sector
-        line_valid = tag_match & self._valid[index, offset]
-
-        traffic.dram_reads += int(lines.size)  # tag + data probe
-        hits = line_valid
-        tags.hits += int(hits.sum())
-
-        # Line miss within a cached sector: footprint fetch from the
-        # demand line (the footprint predictor keeps streaming ahead).
-        line_miss = tag_match & ~line_valid
-        n_line_miss = int(line_miss.sum())
-        if n_line_miss:
-            self._footprint_fill(index[line_miss], offset[line_miss], traffic)
-        tags.clean_misses += n_line_miss
-
-        # Sector miss: evict + footprint fetch.
-        sector_miss = ~tag_match
-        if sector_miss.any():
-            miss_index = index[sector_miss]
-            dirty_victims = self._dirty[miss_index].any(axis=1)
-            tags.dirty_misses += int(dirty_victims.sum())
-            tags.clean_misses += int((~dirty_victims).sum())
-            self._install_sector(miss_index, sector[sector_miss], traffic)
-            self._footprint_fill(miss_index, offset[sector_miss], traffic)
+        seg = self._segmenter.segment(lines, index)
+        counts = _engine_ops.sector_read_batch(
+            sector, offset, seg, self._tags, self._valid, self._dirty,
+            footprint=self.footprint, sector_lines=self.sector_lines,
+        )
+        # Every request probes DRAM (tag + data); footprint fetches move
+        # lines NVRAM→DRAM; sector evictions write back dirty lines.
+        traffic.dram_reads += counts.requests
+        traffic.nvram_reads += counts.fetched_lines
+        traffic.dram_writes += counts.fetched_lines
+        traffic.nvram_writes += counts.evicted_lines
+        tags.hits += counts.hits
+        tags.clean_misses += counts.line_misses
+        tags.clean_misses += counts.sector_misses - counts.dirty_sector_misses
+        tags.dirty_misses += counts.dirty_sector_misses
+        record_cache_metrics(self.cache_kind, traffic, tags)
+        return traffic, tags
 
     def llc_write(self, lines: np.ndarray) -> Tuple[Traffic, TagStats]:
         lines = as_lines(lines)
         traffic, tags = Traffic(), TagStats()
         traffic.demand_writes = int(lines.size)
-        for idx in self._rounds(lines):
-            self._write_round(lines[idx], traffic, tags)
-        record_cache_metrics("sector", traffic, tags)
+        sector, offset, index = self._decompose(lines)
+        seg = self._segmenter.segment(lines, index)
+        counts = _engine_ops.sector_write_batch(
+            sector, offset, seg, self._tags, self._valid, self._dirty
+        )
+        # Tag check on every write; hits update the line in place, and a
+        # sector miss installs the written line directly (the store fully
+        # overwrites it, so nothing is fetched) after evicting the dirty
+        # lines of the old sector.
+        traffic.dram_reads += counts.requests
+        traffic.dram_writes += counts.hits + counts.sector_misses
+        traffic.nvram_writes += counts.evicted_lines
+        tags.hits += counts.hits
+        tags.clean_misses += counts.sector_misses - counts.dirty_sector_misses
+        tags.dirty_misses += counts.dirty_sector_misses
+        record_cache_metrics(self.cache_kind, traffic, tags)
         return traffic, tags
 
-    def _write_round(self, lines: np.ndarray, traffic: Traffic, tags: TagStats) -> None:
+    # -- priming and introspection -----------------------------------------------
+
+    def prime(self, lines: np.ndarray, *, dirty: bool) -> None:
+        """Install lines directly, bypassing traffic accounting.
+
+        Later occupants win as under real accesses: each primed line
+        replaces the sector when its tag differs from the previous
+        occupant and adds its valid (and, with ``dirty=True``, dirty)
+        bit otherwise, so the set ends holding its last primed sector
+        with the bits of the trailing same-sector run.
+        """
+        lines = as_lines(lines)
         sector, offset, index = self._decompose(lines)
-        tag_match = self._tags[index] == sector
-
-        traffic.dram_reads += int(lines.size)  # tag check
-        hits = tag_match
-        tags.hits += int(hits.sum())
-        # Hit (sector resident): write the line, mark valid+dirty.
-        traffic.dram_writes += int(hits.sum())
-        self._valid[index[hits], offset[hits]] = True
-        self._dirty[index[hits], offset[hits]] = True
-
-        miss = ~tag_match
-        if miss.any():
-            miss_index = index[miss]
-            dirty_victims = self._dirty[miss_index].any(axis=1)
-            tags.dirty_misses += int(dirty_victims.sum())
-            tags.clean_misses += int((~dirty_victims).sum())
-            self._install_sector(miss_index, sector[miss], traffic)
-            # Install the written line directly; no fetch needed since
-            # the incoming store fully overwrites it.
-            traffic.dram_writes += int(miss.sum())
-            self._valid[miss_index, offset[miss]] = True
-            self._dirty[miss_index, offset[miss]] = True
-
-    # -- introspection -----------------------------------------------------------
+        seg = self._segmenter.segment(lines, index)
+        _engine_ops.sector_prime_batch(
+            sector, offset, seg, self._tags, self._valid, self._dirty,
+            mark_dirty=dirty,
+        )
 
     def contains(self, lines: np.ndarray) -> np.ndarray:
         lines = as_lines(lines)
         sector, offset, index = self._decompose(lines)
-        return (self._tags[index] == sector) & self._valid[index, offset]
+        bit = (self._valid[index] >> offset.astype(np.uint64)) & np.uint64(1)
+        return (self._tags[index] == sector) & (bit != np.uint64(0))
 
     @property
     def occupancy(self) -> float:
-        return float(self._valid.mean())
+        """Fraction of line slots holding a valid line."""
+        total = _engine_ops.popcount(self._valid).sum()
+        return float(total / (self.num_sets * self.sector_lines))
 
     @property
     def dirty_fraction(self) -> float:
-        return float(self._dirty.mean())
+        """Fraction of line slots holding a dirty line."""
+        total = _engine_ops.popcount(self._dirty).sum()
+        return float(total / (self.num_sets * self.sector_lines))

@@ -8,12 +8,13 @@ tables and textual figures for the experiment CLI.
 """
 
 from repro.perf.sampler import CounterSampler
-from repro.perf.segments import SegmentedBatch, segment
+from repro.perf.segments import DuplicateProbe, SegmentedBatch, segment
 from repro.perf.trace import Trace, TracePoint
 from repro.perf.report import render_table, render_series, render_bars
 
 __all__ = [
     "CounterSampler",
+    "DuplicateProbe",
     "SegmentedBatch",
     "Trace",
     "TracePoint",

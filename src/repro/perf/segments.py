@@ -20,6 +20,11 @@ once *per collision round*, so a batch where every line maps to one set
 cost O(n^2 log n).  Everything here is derived from one sort, so
 adversarial all-same-set batches cost the same O(n log n) as
 collision-free ones.
+
+Uniform traffic skips even the one sort: a :class:`DuplicateProbe` does
+an O(n) scatter/gather over a persistent per-model scratch array to
+prove a batch collision-free, and :meth:`SegmentedBatch.distinct` then
+builds the grouped view as the identity permutation — no argsort at all.
 """
 
 from __future__ import annotations
@@ -66,6 +71,29 @@ class SegmentedBatch:
         self.collision_free = bool(self.first_pos.size == n)
         self._segment_id: Optional[np.ndarray] = None
         self._rank: Optional[np.ndarray] = None
+
+    @classmethod
+    def distinct(cls, keys: np.ndarray) -> "SegmentedBatch":
+        """Grouped view of a batch *proven* to have pairwise-distinct keys.
+
+        Skips the argsort entirely: every position is its own segment, so
+        the identity permutation is a valid grouping (segments appear in
+        batch order rather than ascending key order, which no consumer of
+        a collision-free batch depends on).  Callers must have
+        established distinctness, e.g. via :class:`DuplicateProbe`.
+        """
+        self = cls.__new__(cls)
+        n = keys.size
+        self.keys = keys
+        self.order = np.arange(n, dtype=np.int64)
+        self.sorted_keys = keys
+        self.first = np.ones(n, dtype=bool)
+        self.last = self.first
+        self.first_pos = self.order
+        self.collision_free = True
+        self._segment_id = self.order
+        self._rank = np.zeros(n, dtype=np.int64)
+        return self
 
     # -- derived views (computed on first use) -----------------------------
 
@@ -141,6 +169,64 @@ class SegmentedBatch:
             yield np.sort(chunk)
 
 
-def segment(keys: np.ndarray) -> SegmentedBatch:
-    """Group a batch of integer keys into a :class:`SegmentedBatch`."""
+class DuplicateProbe:
+    """O(n) duplicate detection over a bounded key space.
+
+    Scatters each batch position into a persistent per-key scratch slot
+    and gathers it back: a position that does not read its own value was
+    overwritten by a later occurrence of the same key, so the batch has
+    duplicates.  The scratch is never cleared — every probe writes each
+    slot it will read before reading it — so the per-batch cost is O(n)
+    regardless of key-space size, and the only standing cost is the
+    scratch allocation (one int64 per key, made lazily).
+
+    The probe is *sound in both directions*: it returns ``True`` iff the
+    batch is genuinely collision-free, so callers may take semantic
+    shortcuts (single-round processing, sort-free grouping) on a
+    ``True`` result.  To keep the standing allocation proportional to
+    real work, the probe declines (returns ``False`` without allocating)
+    until it sees a batch for which the scratch would be at most
+    ``MAX_SLOTS_PER_KEY`` slots per batch element — tiny batches over a
+    huge key space fall back to the sort, which is cheap at that size
+    anyway.
+    """
+
+    #: Refuse to allocate scratch larger than this many slots per element
+    #: of the batch that triggered the allocation.
+    MAX_SLOTS_PER_KEY = 64
+
+    __slots__ = ("space", "_scratch")
+
+    def __init__(self, space: int) -> None:
+        if space <= 0:
+            raise ValueError(f"key space must be positive, got {space}")
+        self.space = space
+        self._scratch: Optional[np.ndarray] = None
+
+    def collision_free(self, keys: np.ndarray) -> bool:
+        """Whether ``keys`` (all in ``[0, space)``) are pairwise distinct."""
+        n = keys.size
+        if n <= 1:
+            return True
+        if n > self.space:
+            return False  # pigeonhole: some key must repeat
+        scratch = self._scratch
+        if scratch is None:
+            if self.space > n * self.MAX_SLOTS_PER_KEY:
+                return False  # scratch would dwarf the batch; let it sort
+            scratch = self._scratch = np.empty(self.space, dtype=np.int64)
+        positions = np.arange(n, dtype=np.int64)
+        scratch[keys] = positions
+        return bool(np.array_equal(scratch[keys], positions))
+
+
+def segment(keys: np.ndarray, probe: Optional[DuplicateProbe] = None) -> SegmentedBatch:
+    """Group a batch of integer keys into a :class:`SegmentedBatch`.
+
+    With a ``probe``, a batch proven collision-free skips the argsort and
+    comes back as the sort-free identity grouping
+    (:meth:`SegmentedBatch.distinct`).
+    """
+    if probe is not None and probe.collision_free(keys):
+        return SegmentedBatch.distinct(keys)
     return SegmentedBatch(keys)

@@ -167,6 +167,38 @@ def _bench_section(history: Optional[BenchHistory], series: str) -> List[str]:
     ]
 
 
+def _bench_series_section(
+    history: Optional[BenchHistory], experiment_names: set
+) -> List[str]:
+    """Index-level sparklines for non-experiment bench series.
+
+    Experiment wall-clock series render inline in the summaries table;
+    everything else in the bench snapshots (the cache-engine
+    microbenchmark's per-model timings and speedups) lands here, one
+    sparkline per series once two snapshots exist.
+    """
+    if history is None or len(history) < 2:
+        return []
+    rows = []
+    for name in history.names():
+        values = history.series(name)
+        if len(values) < 2 or name in experiment_names:
+            continue
+        rows.append(
+            [esc(name), svg.sparkline(values), fmt(values[-1]), fmt(min(values))]
+        )
+    if not rows:
+        return []
+    return [
+        "<h2>Perf trajectory (BENCH files)</h2>",
+        '<p class="muted">Benchmark series across snapshots (cache-engine '
+        "timings, speedups); experiment wall-clocks sparkline in the table "
+        "above.</p>",
+        table(["series", "values over snapshots", "latest", "best"], rows,
+              numeric=(2, 3)),
+    ]
+
+
 def render_experiment(
     catalog: Catalog,
     experiment: str,
@@ -253,6 +285,7 @@ def render_index(
         )
     else:
         body.append("<p>The store is empty — run some experiments first.</p>")
+    body.extend(_bench_series_section(bench, {s["experiment"] for s in summaries}))
     if bench is not None and len(bench):
         body.append(
             f'<p class="muted">Bench history: {len(bench)} snapshot'

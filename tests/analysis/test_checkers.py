@@ -6,6 +6,7 @@ from repro.analysis import run_analysis
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exceptions import ExceptionChecker
 from repro.analysis.checkers.registration import RegistrationChecker
+from repro.analysis.checkers.segments import SegmentsChecker
 from repro.analysis.checkers.service import ServiceChecker
 from repro.analysis.checkers.telemetry import TelemetryChecker
 from repro.analysis.checkers.units import UnitsChecker
@@ -485,6 +486,99 @@ class TestService:
                     service.job_failed(job, error)
             """,
             ServiceChecker(),
+        )
+        assert findings == []
+
+
+class TestSegments:
+    def test_flags_unique_and_round_loops_in_hot_paths(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "direct_mapped.py",
+            """\
+            import numpy as np
+
+
+            class Cache:
+                def llc_read(self, lines):
+                    sets, first = np.unique(lines % 4, return_index=True)
+                    return sets, first
+
+                def llc_write(self, lines):
+                    seg = self._segmenter.segment(lines, lines % 4)
+                    for mask in seg.rounds():
+                        self._apply(lines[mask])
+            """,
+            SegmentsChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("SEG001", 6),
+            ("SEG001", 11),
+        ]
+        assert "np.unique in hot path llc_read()" in findings[0].message
+        assert "round loop in hot path llc_write()" in findings[1].message
+
+    def test_flags_legacy_round_hook_definitions(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "variant.py",
+            """\
+            class Variant:
+                def _read_round(self, lines, traffic, tags):
+                    return lines
+
+                def _write_round(self, lines, traffic, tags):
+                    return lines
+            """,
+            SegmentsChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("SEG001", 2),
+            ("SEG001", 5),
+        ]
+        assert "_apply_read/_apply_write" in findings[0].message
+
+    def test_segmented_hot_path_and_cold_unique_pass(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "direct_mapped.py",
+            """\
+            import numpy as np
+
+
+            class Cache:
+                def llc_read(self, lines):
+                    seg = self._segmenter.segment(lines, lines % 4)
+                    return self._apply_read(lines, seg)
+
+                def describe_trace(self, lines):
+                    # Cold path: one-off reporting may sort however it likes.
+                    return np.unique(lines).size
+            """,
+            SegmentsChecker(),
+        )
+        assert findings == []
+
+    def test_rounds_module_is_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "rounds.py",
+            """\
+            import numpy as np
+
+
+            class RoundsCache:
+                def _rounds(self, sets):
+                    yield np.unique(sets)
+
+                def llc_read(self, lines):
+                    for mask in self._rounds(lines % 4):
+                        self._read_round(lines[mask])
+
+                def _read_round(self, lines):
+                    return lines
+            """,
+            SegmentsChecker(),
         )
         assert findings == []
 

@@ -1,26 +1,46 @@
-"""Randomized bit-exactness: both batch engines vs the scalar reference.
+"""Randomized bit-exactness: closed-form engines vs scalar references.
 
-Drives the segmented closed-form engine AND the legacy round
-decomposition (``engine="rounds"``) through thousands of randomized
-batches — uniform, high-collision, and adversarial all-same-set — under
-every ``ddo_enabled`` x ``insert_on_write_miss`` combination, asserting
-per-batch traffic and tag counters plus final cache state match the
-literal Figure-3 :class:`~repro.cache.flow.ReferenceCache` exactly.
+Drives every production cache model — direct-mapped, sector,
+set-associative, and the three research variants — through thousands of
+randomized batches (uniform, high-collision, and adversarial
+all-same-set) and asserts per-batch traffic and tag counters plus final
+cache state match a deliberately naive one-access-at-a-time scalar
+reference exactly.  The direct-mapped, sector, and set-associative
+models are additionally checked against the legacy per-round engines in
+:mod:`repro.cache.rounds`, which are kept importable for exactly this
+purpose (and the old-vs-new benchmark) but are not production exports.
 
-Together with ``tests/cache/test_equivalence.py`` (hypothesis-driven,
-also engine-parametrized) this is the evidence that the closed-form
-duplicate-resolution recurrences in :mod:`repro.cache.engine` are
-bit-for-bit equivalent to serial processing.
+Together with ``tests/cache/test_equivalence.py`` (hypothesis-driven)
+this is the evidence that the closed-form duplicate-resolution
+recurrences in :mod:`repro.cache.engine` are bit-for-bit equivalent to
+serial processing.
 """
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.cache import DirectMappedCache, ReferenceCache
+import repro.cache as cache_pkg
+from repro.cache import (
+    BypassCache,
+    DirectMappedCache,
+    MissPredictorCache,
+    NextLinePrefetchCache,
+    ReferenceCache,
+    SectorCache,
+)
+from repro.cache.rounds import (
+    RoundsDirectMappedCache,
+    RoundsSectorCache,
+    RoundsSetAssociativeCache,
+)
+from repro.cache import SetAssociativeCache
+from repro.memsys.counters import TagStats, Traffic
 
 NUM_SETS = 8
 LINE_SPAN = NUM_SETS * 6  # six aliases per set
-BATCHES_PER_CASE = 660  # 660 x 16 cases = 10,560 batches per engine
+BATCHES_PER_CASE = 660
 MAX_BATCH = 14
 
 CONFIGS = [
@@ -30,33 +50,40 @@ CONFIGS = [
 ]
 
 
-def draw_batch(rng, scenario):
+def draw_batch(rng, scenario, span=LINE_SPAN, num_sets=NUM_SETS):
     n = int(rng.integers(0, MAX_BATCH + 1))
+    aliases = span // num_sets
     if scenario == "uniform":
-        return rng.integers(0, LINE_SPAN, size=n).astype(np.int64)
+        return rng.integers(0, span, size=n).astype(np.int64)
     if scenario == "high_collision":
         # Two sets only: nearly every batch has duplicate occurrences.
         hot_sets = rng.integers(0, 2, size=n)
-        alias = rng.integers(0, 6, size=n)
-        return (hot_sets + alias * NUM_SETS).astype(np.int64)
+        alias = rng.integers(0, aliases, size=n)
+        return (hot_sets + alias * num_sets).astype(np.int64)
     if scenario == "all_same_set":
         # One set, random alias per request: the adversarial worst case.
-        alias = rng.integers(0, 6, size=n)
-        return (3 + alias * NUM_SETS).astype(np.int64)
+        alias = rng.integers(0, aliases, size=n)
+        return (3 % num_sets + alias * num_sets).astype(np.int64)
     raise AssertionError(scenario)
 
 
 SCENARIOS = ["uniform", "high_collision", "all_same_set"]
 
 
-@pytest.mark.parametrize("engine", ["segmented", "rounds"])
+# ---------------------------------------------------------------------------
+# Direct-mapped: closed form vs scalar reference vs legacy rounds engine
+# ---------------------------------------------------------------------------
+
+
 @pytest.mark.parametrize("ddo,insert", CONFIGS)
-def test_engines_match_reference(engine, ddo, insert):
-    case_id = (engine == "segmented") * 4 + ddo * 2 + insert
-    rng = np.random.default_rng(0xD1CE + case_id)
+def test_direct_mapped_matches_reference(ddo, insert):
+    rng = np.random.default_rng(0xD1CE + ddo * 2 + insert)
     for scenario in SCENARIOS:
         vectorized = DirectMappedCache(
-            NUM_SETS * 64, ddo_enabled=ddo, insert_on_write_miss=insert, engine=engine
+            NUM_SETS * 64, ddo_enabled=ddo, insert_on_write_miss=insert
+        )
+        legacy = RoundsDirectMappedCache(
+            NUM_SETS * 64, ddo_enabled=ddo, insert_on_write_miss=insert
         )
         reference = ReferenceCache(
             NUM_SETS, ddo_enabled=ddo, insert_on_write_miss=insert
@@ -65,13 +92,17 @@ def test_engines_match_reference(engine, ddo, insert):
             lines = draw_batch(rng, scenario)
             if rng.random() < 0.5:
                 vt, vg = vectorized.llc_read(lines)
+                lt, lg = legacy.llc_read(lines)
                 rt, rg = reference.llc_read(lines)
             else:
                 vt, vg = vectorized.llc_write(lines)
+                lt, lg = legacy.llc_write(lines)
                 rt, rg = reference.llc_write(lines)
-            context = f"{engine}/{scenario} step {step}: {lines.tolist()}"
+            context = f"{scenario} step {step}: {lines.tolist()}"
             assert vt == rt, f"traffic diverged ({context}): {vt} vs {rt}"
             assert vg == rg, f"tag stats diverged ({context}): {vg} vs {rg}"
+            assert lt == rt, f"rounds traffic diverged ({context}): {lt} vs {rt}"
+            assert lg == rg, f"rounds tag stats diverged ({context}): {lg} vs {rg}"
         # Final state, line by line over the whole alias span.
         for line in range(LINE_SPAN):
             probe = np.array([line], dtype=np.int64)
@@ -79,9 +110,8 @@ def test_engines_match_reference(engine, ddo, insert):
             assert bool(vectorized.is_dirty(probe)[0]) == reference.is_dirty(line)
 
 
-@pytest.mark.parametrize("engine", ["segmented", "rounds"])
-def test_empty_and_singleton_batches(engine):
-    cache = DirectMappedCache(NUM_SETS * 64, engine=engine)
+def test_empty_and_singleton_batches():
+    cache = DirectMappedCache(NUM_SETS * 64)
     empty = np.array([], dtype=np.int64)
     traffic, tags = cache.llc_read(empty)
     assert traffic.nvram_reads == 0 and tags.clean_misses == 0
@@ -91,8 +121,440 @@ def test_empty_and_singleton_batches(engine):
     assert tags.clean_misses == 1
 
 
-def test_engine_kwarg_validated():
-    from repro.errors import ConfigurationError
+def test_rounds_engine_is_not_a_production_export():
+    """The legacy engine is tests-only: not exported, not a kwarg."""
+    assert not hasattr(cache_pkg, "RoundsDirectMappedCache")
+    assert "rounds" not in cache_pkg.__all__
+    with pytest.raises(TypeError):
+        DirectMappedCache(NUM_SETS * 64, engine="rounds")
 
-    with pytest.raises(ConfigurationError):
-        DirectMappedCache(NUM_SETS * 64, engine="quantum")
+
+# ---------------------------------------------------------------------------
+# Sector cache: closed form vs scalar reference vs legacy rounds engine
+# ---------------------------------------------------------------------------
+
+
+class ScalarSectorCache:
+    """One-access-at-a-time sector cache with footprint fetch."""
+
+    def __init__(self, num_sets, sector_lines, footprint):
+        self.num_sets = num_sets
+        self.sector_lines = sector_lines
+        self.footprint = footprint
+        self.tags = {}
+        self.valid = {}  # index -> set of offsets
+        self.dirty = {}
+
+    def _where(self, line):
+        sector = line // self.sector_lines
+        offset = line - sector * self.sector_lines
+        return sector, offset, sector % self.num_sets
+
+    def _fill(self, index, offset, traffic):
+        span = min(self.footprint, self.sector_lines - offset)
+        window = set(range(offset, offset + span))
+        fresh = window - self.valid.setdefault(index, set())
+        traffic.nvram_reads += len(fresh)
+        traffic.dram_writes += len(fresh)
+        self.valid[index] |= window
+
+    def _evict(self, index, sector, traffic, tags):
+        dirty = self.dirty.get(index, set())
+        if dirty:
+            tags.dirty_misses += 1
+        else:
+            tags.clean_misses += 1
+        traffic.nvram_writes += len(dirty)
+        self.tags[index] = sector
+        self.valid[index] = set()
+        self.dirty[index] = set()
+
+    def llc_read(self, lines):
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = len(lines)
+        for line in lines:
+            sector, offset, index = self._where(int(line))
+            traffic.dram_reads += 1
+            if self.tags.get(index) == sector:
+                if offset in self.valid.get(index, set()):
+                    tags.hits += 1
+                else:
+                    tags.clean_misses += 1
+                    self._fill(index, offset, traffic)
+            else:
+                self._evict(index, sector, traffic, tags)
+                self._fill(index, offset, traffic)
+        return traffic, tags
+
+    def llc_write(self, lines):
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = len(lines)
+        for line in lines:
+            sector, offset, index = self._where(int(line))
+            traffic.dram_reads += 1
+            if self.tags.get(index) == sector:
+                tags.hits += 1
+            else:
+                self._evict(index, sector, traffic, tags)
+            traffic.dram_writes += 1
+            self.valid.setdefault(index, set()).add(offset)
+            self.dirty.setdefault(index, set()).add(offset)
+        return traffic, tags
+
+    def contains(self, line):
+        sector, offset, index = self._where(int(line))
+        return self.tags.get(index) == sector and offset in self.valid.get(index, set())
+
+
+SECTOR_GEOMETRIES = [
+    pytest.param(4, 1, id="L4-F1"),
+    pytest.param(4, 3, id="L4-F3"),  # footprint clipping at sector end
+    pytest.param(8, 8, id="L8-F8"),  # whole-sector footprint
+    pytest.param(32, 4, id="L32-F4"),
+    pytest.param(64, 64, id="L64-F64"),  # full 64-bit window mask
+]
+
+
+@pytest.mark.parametrize("sector_lines,footprint", SECTOR_GEOMETRIES)
+def test_sector_matches_scalar_and_rounds(sector_lines, footprint):
+    num_sets = 4
+    span = num_sets * 3 * sector_lines  # three sector aliases per set
+    rng = np.random.default_rng(0x5EC + sector_lines * 64 + footprint)
+    for scenario in SCENARIOS:
+        vectorized = SectorCache(
+            num_sets * sector_lines * 64,
+            sector_lines=sector_lines, footprint=footprint,
+        )
+        legacy = RoundsSectorCache(
+            num_sets * sector_lines * 64,
+            sector_lines=sector_lines, footprint=footprint,
+        )
+        scalar = ScalarSectorCache(num_sets, sector_lines, footprint)
+        for step in range(120):
+            if scenario == "all_same_set":
+                # Same sector-set: random aliasing sectors, random offsets
+                # (exercises run splits and footprint fills within one set).
+                n = int(rng.integers(0, MAX_BATCH + 1))
+                alias = rng.integers(0, 3, size=n) * num_sets
+                offs = rng.integers(0, sector_lines, size=n)
+                lines = (alias * sector_lines + offs).astype(np.int64)
+            else:
+                lines = draw_batch(
+                    rng, scenario, span=span, num_sets=num_sets * sector_lines
+                )
+            if rng.random() < 0.5:
+                vt, vg = vectorized.llc_read(lines)
+                lt, lg = legacy.llc_read(lines)
+                st_, sg = scalar.llc_read(lines.tolist())
+            else:
+                vt, vg = vectorized.llc_write(lines)
+                lt, lg = legacy.llc_write(lines)
+                st_, sg = scalar.llc_write(lines.tolist())
+            context = f"{scenario} step {step}: {lines.tolist()}"
+            assert vt == st_, f"traffic diverged ({context}): {vt} vs {st_}"
+            assert vg == sg, f"tag stats diverged ({context}): {vg} vs {sg}"
+            assert lt == st_, f"rounds traffic diverged ({context}): {lt} vs {st_}"
+            assert lg == sg, f"rounds tag stats diverged ({context}): {lg} vs {sg}"
+        probe = np.arange(span, dtype=np.int64)
+        vec_contains = vectorized.contains(probe)
+        legacy_contains = legacy.contains(probe)
+        for line in range(span):
+            expected = scalar.contains(line)
+            assert bool(vec_contains[line]) == expected
+            assert bool(legacy_contains[line]) == expected
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write"]),
+            st.lists(st.integers(min_value=0, max_value=95), max_size=10),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    footprint=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=200, deadline=None)
+def test_sector_footprint_fill_property(data, footprint):
+    """Hypothesis sweep of the bounded fill-resolution loop: interleaved
+    reads/writes over two sets x three sector aliases, tiny sectors so
+    hits on unfilled offsets (the case with no closed form) are common."""
+    sector_lines, num_sets = 8, 2
+    vectorized = SectorCache(
+        num_sets * sector_lines * 64, sector_lines=sector_lines, footprint=footprint
+    )
+    scalar = ScalarSectorCache(num_sets, sector_lines, footprint)
+    for kind, batch in data:
+        lines = np.array(batch, dtype=np.int64)
+        if kind == "read":
+            vt, vg = vectorized.llc_read(lines)
+            st_, sg = scalar.llc_read(batch)
+        else:
+            vt, vg = vectorized.llc_write(lines)
+            st_, sg = scalar.llc_write(batch)
+        assert vt == st_, f"traffic diverged on {kind} {batch}: {vt} vs {st_}"
+        assert vg == sg, f"tags diverged on {kind} {batch}: {vg} vs {sg}"
+    for line in range(96):
+        assert bool(vectorized.contains(np.array([line]))[0]) == scalar.contains(line)
+
+
+def test_sector_prime_semantics():
+    """Trailing same-sector run wins; dirty flag marks the same bits."""
+    cache = SectorCache(4 * 8 * 64, sector_lines=8, footprint=1)
+    alias = 4 * 8  # sector stride per set
+    # Set 0 sees sector 0 (offsets 1, 2), then sector 4 (offsets 3, 5).
+    lines = np.array([1, 2, alias + 3, alias + 5], dtype=np.int64)
+    cache.prime(lines, dirty=True)
+    assert not cache.contains(np.array([1, 2])).any()  # replaced
+    assert cache.contains(np.array([alias + 3, alias + 5])).all()
+    assert not cache.contains(np.array([alias + 4]))[0]
+    assert cache.dirty_fraction == pytest.approx(2 / 32)
+    # Re-priming the same sector clean replaces the bitmap.
+    cache.prime(np.array([alias + 3], dtype=np.int64), dirty=False)
+    assert cache.contains(np.array([alias + 3]))[0]
+    assert not cache.contains(np.array([alias + 5]))[0]
+    assert cache.dirty_fraction == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Set-associative LRU: k-bounded engine vs legacy rounds engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ways", [1, 2, 8])
+def test_setassoc_matches_rounds_engine(ways):
+    """Full state equivalence (tags, dirty, stamps) with the legacy
+    engine: the rank partition must reproduce the np.unique rounds."""
+    num_sets = 4
+    span = num_sets * ways * 3
+    rng = np.random.default_rng(0xA550 + ways)
+    for scenario in SCENARIOS:
+        vectorized = SetAssociativeCache(num_sets * ways * 64, ways=ways)
+        legacy = RoundsSetAssociativeCache(num_sets * ways * 64, ways=ways)
+        for step in range(150):
+            lines = draw_batch(rng, scenario, span=span, num_sets=num_sets)
+            if rng.random() < 0.5:
+                vt, vg = vectorized.llc_read(lines)
+                lt, lg = legacy.llc_read(lines)
+            else:
+                vt, vg = vectorized.llc_write(lines)
+                lt, lg = legacy.llc_write(lines)
+            context = f"{scenario} step {step}: {lines.tolist()}"
+            assert vt == lt, f"traffic diverged ({context}): {vt} vs {lt}"
+            assert vg == lg, f"tag stats diverged ({context}): {vg} vs {lg}"
+        assert np.array_equal(vectorized._tags, legacy._tags)
+        assert np.array_equal(vectorized._dirty, legacy._dirty)
+        assert np.array_equal(vectorized._stamp, legacy._stamp)
+        assert vectorized._clock == legacy._clock
+
+
+def test_setassoc_prime_follows_lru():
+    """Primed lines land in LRU victim ways, later occurrences winning."""
+    cache = SetAssociativeCache(2 * 64, ways=2)  # one 2-way set
+    a, b, c = 0, 2, 4  # all map to set 0
+    cache.prime(np.array([a, b, c], dtype=np.int64), dirty=False)
+    contains = cache.contains(np.array([a, b, c], dtype=np.int64))
+    assert contains.tolist() == [False, True, True]  # a evicted by c
+    # b is now least-recently used; the next miss must evict it.
+    cache.llc_read(np.array([6], dtype=np.int64))
+    contains = cache.contains(np.array([b, c, 6], dtype=np.int64))
+    assert contains.tolist() == [False, True, True]
+
+
+# ---------------------------------------------------------------------------
+# Research variants: engine-level hooks vs scalar references
+# ---------------------------------------------------------------------------
+
+
+class ScalarVariantBase:
+    """Scalar direct-mapped baseline (always-insert, DDO on) the research
+    variants share for the paths they do not modify."""
+
+    def __init__(self, num_sets):
+        self.num_sets = num_sets
+        self.tags = {}
+        self.dirty = set()
+        self.known = set()
+
+    def llc_write(self, lines):
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_writes = len(lines)
+        for line in lines:
+            line = int(line)
+            s = line % self.num_sets
+            if self.tags.get(s) == line:
+                if s in self.known:
+                    tags.ddo_writes += 1
+                    traffic.dram_writes += 1
+                else:
+                    traffic.dram_reads += 1
+                    tags.hits += 1
+                    traffic.dram_writes += 1
+                self.dirty.add(s)
+                continue
+            traffic.dram_reads += 1
+            if s in self.dirty:
+                tags.dirty_misses += 1
+                traffic.nvram_writes += 1
+            else:
+                tags.clean_misses += 1
+            traffic.nvram_reads += 1
+            traffic.dram_writes += 2
+            self.tags[s] = line
+            self.dirty.add(s)
+            self.known.discard(s)
+        return traffic, tags
+
+    def _baseline_read_one(self, line, traffic, tags):
+        """Demand-read one line; returns True when it missed."""
+        s = line % self.num_sets
+        if self.tags.get(s) == line:
+            tags.hits += 1
+            self.known.add(s)
+            return False
+        if s in self.dirty:
+            tags.dirty_misses += 1
+            traffic.nvram_writes += 1
+        else:
+            tags.clean_misses += 1
+        traffic.nvram_reads += 1
+        traffic.dram_writes += 1
+        self.tags[s] = line
+        self.dirty.discard(s)
+        self.known.add(s)
+        return True
+
+    def contains(self, line):
+        return self.tags.get(int(line) % self.num_sets) == int(line)
+
+
+class ScalarMissPredictor(ScalarVariantBase):
+    def __init__(self, num_sets, accuracy, seed):
+        super().__init__(num_sets)
+        self.accuracy = accuracy
+        self.rng = np.random.default_rng(seed)
+
+    def llc_read(self, lines):
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = len(lines)
+        correct = self.rng.random(len(lines)) < self.accuracy
+        for line, ok in zip(lines, correct):
+            line = int(line)
+            s = line % self.num_sets
+            hit = self.tags.get(s) == line
+            predicted_hit = hit if ok else not hit
+            if predicted_hit:
+                traffic.dram_reads += 1
+            elif hit:  # mispredicted hit: verification read + wasted fetch
+                traffic.dram_reads += 1
+                traffic.nvram_reads += 1
+            self._baseline_read_one(line, traffic, tags)
+        return traffic, tags
+
+
+class ScalarBypass(ScalarVariantBase):
+    def __init__(self, num_sets, insert_probability, seed):
+        super().__init__(num_sets)
+        self.insert_probability = insert_probability
+        self.rng = np.random.default_rng(seed)
+
+    def llc_read(self, lines):
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = len(lines)
+        draws = self.rng.random(len(lines)) < self.insert_probability
+        for line, allocate in zip(lines, draws):
+            line = int(line)
+            s = line % self.num_sets
+            traffic.dram_reads += 1
+            if self.tags.get(s) == line:
+                tags.hits += 1
+                self.known.add(s)
+                continue
+            traffic.nvram_reads += 1
+            if s in self.dirty:
+                tags.dirty_misses += 1
+            else:
+                tags.clean_misses += 1
+            if allocate:
+                traffic.dram_writes += 1
+                if s in self.dirty:
+                    traffic.nvram_writes += 1
+                self.tags[s] = line
+                self.dirty.discard(s)
+                self.known.add(s)
+        return traffic, tags
+
+
+class ScalarNextLinePrefetch(ScalarVariantBase):
+    def llc_read(self, lines):
+        traffic, tags = Traffic(), TagStats()
+        traffic.demand_reads = len(lines)
+        missed = []
+        for line in lines:
+            line = int(line)
+            traffic.dram_reads += 1
+            if self._baseline_read_one(line, traffic, tags):
+                missed.append(line)
+        for cand in missed:
+            cand += 1
+            s = cand % self.num_sets
+            if self.tags.get(s) == cand:
+                continue
+            traffic.nvram_reads += 1
+            traffic.dram_writes += 1
+            if s in self.dirty:
+                traffic.nvram_writes += 1
+            self.tags[s] = cand
+            self.dirty.discard(s)
+            self.known.add(s)
+        return traffic, tags
+
+
+VARIANT_CASES = [
+    pytest.param(
+        lambda cap, seed, a=a: MissPredictorCache(cap, accuracy=a, seed=seed),
+        lambda ns, seed, a=a: ScalarMissPredictor(ns, a, seed),
+        id=f"predictor-{a}",
+    )
+    for a in (0.0, 0.3, 1.0)
+] + [
+    pytest.param(
+        lambda cap, seed, p=p: BypassCache(cap, insert_probability=p, seed=seed),
+        lambda ns, seed, p=p: ScalarBypass(ns, p, seed),
+        id=f"bypass-{p}",
+    )
+    for p in (0.0, 0.5, 1.0)
+] + [
+    pytest.param(
+        lambda cap, seed: NextLinePrefetchCache(cap),
+        lambda ns, seed: ScalarNextLinePrefetch(ns),
+        id="prefetch",
+    )
+]
+
+
+@pytest.mark.parametrize("make_vectorized,make_scalar", VARIANT_CASES)
+def test_research_variants_match_scalar(make_vectorized, make_scalar):
+    """Bit-exact equivalence for all three research variants, including
+    segmented batches with duplicates — the variants draw their random
+    coins once per batch in request order, same as the references."""
+    rng = np.random.default_rng(0x0B5E)
+    for scenario in SCENARIOS:
+        seed = int(rng.integers(0, 2**31))
+        vectorized = make_vectorized(NUM_SETS * 64, seed)
+        scalar = make_scalar(NUM_SETS, seed)
+        for step in range(150):
+            lines = draw_batch(rng, scenario)
+            if rng.random() < 0.7:
+                vt, vg = vectorized.llc_read(lines)
+                st_, sg = scalar.llc_read(lines.tolist())
+            else:
+                vt, vg = vectorized.llc_write(lines)
+                st_, sg = scalar.llc_write(lines.tolist())
+            context = f"{scenario} step {step}: {lines.tolist()}"
+            assert vt == st_, f"traffic diverged ({context}): {vt} vs {st_}"
+            assert vg == sg, f"tag stats diverged ({context}): {vg} vs {sg}"
+        for line in range(LINE_SPAN):
+            probe = np.array([line], dtype=np.int64)
+            assert bool(vectorized.contains(probe)[0]) == scalar.contains(line)

@@ -11,6 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache import DirectMappedCache, ReferenceCache
+from repro.cache.rounds import RoundsDirectMappedCache
 
 # Tiny caches + addresses spanning several aliases force set conflicts.
 NUM_SETS = st.sampled_from([1, 2, 7, 16])
@@ -43,13 +44,16 @@ def apply_ops(cache, ops):
     return results
 
 
-@pytest.mark.parametrize("engine", ["segmented", "rounds"])
+@pytest.mark.parametrize(
+    "implementation", [DirectMappedCache, RoundsDirectMappedCache],
+    ids=["closed-form", "legacy-rounds"],
+)
 @given(scenarios())
 @settings(max_examples=300, deadline=None)
-def test_vectorized_matches_reference(engine, scenario):
+def test_vectorized_matches_reference(implementation, scenario):
     num_sets, ops, ddo, insert = scenario
-    vectorized = DirectMappedCache(
-        num_sets * 64, ddo_enabled=ddo, insert_on_write_miss=insert, engine=engine
+    vectorized = implementation(
+        num_sets * 64, ddo_enabled=ddo, insert_on_write_miss=insert
     )
     reference = ReferenceCache(
         num_sets, ddo_enabled=ddo, insert_on_write_miss=insert
@@ -59,9 +63,12 @@ def test_vectorized_matches_reference(engine, scenario):
         assert vg == rg, f"tag stats diverged: {vg} vs {rg}"
     # Final cache state must agree line by line.
     probe = np.arange(num_sets * 4, dtype=np.int64)
+    final = vectorized._tags
     for line in probe.tolist():
-        assert bool(vectorized.contains(np.array([line]))[0]) == reference.contains(line)
-        assert bool(vectorized.is_dirty(np.array([line]))[0]) == reference.is_dirty(line)
+        assert bool(final[line % num_sets] == line) == reference.contains(line)
+        assert bool(
+            (final[line % num_sets] == line) and vectorized._dirty[line % num_sets]
+        ) == reference.is_dirty(line)
 
 
 @given(

@@ -106,3 +106,28 @@ class TestBenchIntegration:
         assert "Perf trajectory (BENCH files)" in html
         index = render_index(catalog, bench=history)
         assert "Bench history: 3 snapshots" in index
+
+    def test_cache_bench_series_sparkline_on_the_index(self, catalog, tmp_path):
+        # BENCH_cache.json-style nested snapshots: series named a/b,
+        # no "experiments" key, ordering by filename (no unix_time).
+        for stamp, speedup in ((1000, 3.5), (2000, 4.0)):
+            (tmp_path / f"BENCH_cache_{stamp}.json").write_text(
+                '{"direct_mapped/uniform": {"speedup": %s, '
+                '"closed_form_s": 0.02}}' % speedup
+            )
+        history = load_bench_history(sorted(tmp_path.glob("BENCH_cache_*.json")))
+        assert history.series("direct_mapped/uniform/speedup") == [3.5, 4.0]
+
+        index = render_index(catalog, bench=history)
+        assert "Perf trajectory (BENCH files)" in index
+        assert "direct_mapped/uniform/speedup" in index
+        assert render_index(catalog, bench=history) == index
+
+    def test_single_snapshot_renders_no_series_section(self, catalog, tmp_path):
+        (tmp_path / "BENCH_cache.json").write_text(
+            '{"direct_mapped/uniform": {"speedup": 4.0}}'
+        )
+        history = load_bench_history([tmp_path / "BENCH_cache.json"])
+        index = render_index(catalog, bench=history)
+        assert "Perf trajectory (BENCH files)" not in index
+        assert "Bench history: 1 snapshot" in index
