@@ -10,8 +10,10 @@ from __future__ import annotations
 from typing import List, Type
 
 from repro.analysis.core import Checker
+from repro.analysis.checkers.architecture import ArchitectureChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exceptions import ExceptionChecker
+from repro.analysis.checkers.locks import LockGuardChecker, LockOrderChecker
 from repro.analysis.checkers.registration import RegistrationChecker
 from repro.analysis.checkers.segments import SegmentsChecker
 from repro.analysis.checkers.service import ServiceChecker
@@ -26,6 +28,9 @@ ALL_CHECKERS: List[Type[Checker]] = [
     RegistrationChecker,
     ServiceChecker,
     SegmentsChecker,
+    ArchitectureChecker,
+    LockGuardChecker,
+    LockOrderChecker,
 ]
 
 
@@ -41,7 +46,10 @@ def checker_for(rule: str) -> Type[Checker]:
 
 __all__ = [
     "ALL_CHECKERS",
+    "ArchitectureChecker",
     "DeterminismChecker",
+    "LockGuardChecker",
+    "LockOrderChecker",
     "ExceptionChecker",
     "RegistrationChecker",
     "SegmentsChecker",

@@ -11,6 +11,11 @@ programming errors.  Two shapes are legitimate and recognized:
   barriers) passes automatically;
 * a declared boundary — a sweep worker barrier, a claim evaluator —
   carries an inline ``# repro-lint: disable=EXC001`` with a reason.
+
+Test modules (``test_*``/``conftest`` files and anything under a
+``tests``/``benchmarks`` tree) are exempt from the *assert* prong only:
+``assert`` is pytest's assertion API, rewritten by the plugin, and the
+``-O`` hazard does not apply.  The broad-except prong still runs there.
 """
 
 from __future__ import annotations
@@ -21,6 +26,13 @@ from typing import Iterable
 from repro.analysis.core import Checker, Finding, ModuleInfo, Project
 
 _BROAD = {"Exception", "BaseException"}
+
+
+def _is_test_module(module: ModuleInfo) -> bool:
+    name = module.path.name
+    if name.startswith("test_") or name == "conftest.py":
+        return True
+    return any(part in ("tests", "benchmarks") for part in module.path.parts)
 
 
 def _broad_names(handler: ast.ExceptHandler, module: ModuleInfo) -> Iterable[str]:
@@ -49,8 +61,11 @@ class ExceptionChecker(Checker):
     )
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        in_tests = _is_test_module(module)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Assert):
+                if in_tests:
+                    continue
                 yield self.finding(
                     module,
                     node,

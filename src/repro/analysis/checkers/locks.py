@@ -1,0 +1,235 @@
+"""LOCK001/LOCK002 — lock discipline in threaded classes.
+
+Both rules run over the :class:`~repro.analysis.graph.ProjectGraph` and
+look only at classes that actually run on threads: a class participates
+when it has at least one *thread entry* (an HTTP ``do_*`` handler, a
+``run`` method of a ``threading.Thread`` subclass, or a method passed
+as ``threading.Thread(target=self.m)``) and owns at least one lock
+attribute.  Everything else is single-threaded by construction and the
+rules stay silent.
+
+**LOCK001 — unguarded shared state.**  For each non-lock attribute the
+guard set is *inferred from existing usage*: every class lock held (via
+``with self._lock:``, including locks guaranteed held by every caller
+of a private helper) at some mutation site outside ``__init__``.  Two
+findings:
+
+* the guard set is non-empty but some mutation site holds none of it —
+  the classic "three guarded writes, one forgotten one";
+* the guard set is empty while the attribute is both mutated and
+  touched from a second method — shared state with no guard at all
+  (``WorkerPool._threads`` before this rule existed).
+
+``__init__`` is exempt (the object is not yet shared).  Mutation means
+assignment, augmented assignment, ``del``, item assignment, or a
+mutating container-method call (``append``/``pop``/``update``/… —
+deliberately not ``set``, which is ``Event.set``/``Gauge.set``).
+
+**LOCK002 — lock-ordering.**  Every ``with self.a:`` nested (directly
+or through intra-class calls) under ``with self.b:`` contributes the
+edge ``b -> a`` to one project-wide lock-ordering graph keyed by
+``module.Class.attr``.  A cycle means two code paths acquire the same
+locks in opposite orders — a deadlock waiting for load.  Acquiring a
+non-reentrant ``Lock``/``Condition`` while already holding it is
+flagged as self-deadlock; ``RLock`` re-entry is legal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project
+from repro.analysis.graph import (
+    Acquisition,
+    AttrSite,
+    ClassSummary,
+    _tarjan_cycles,
+)
+
+
+def _threaded_classes(project: Project) -> List[Tuple[ModuleInfo, ClassSummary]]:
+    by_module = {info.module: info for info in project.modules}
+    graph = project.graph()
+    selected = []
+    for cls in graph.classes():
+        info = by_module.get(cls.module)
+        if info is None:
+            continue
+        if cls.thread_entries and cls.lock_kinds:
+            selected.append((info, cls))
+    return selected
+
+
+def _effective_held(cls: ClassSummary, site: AttrSite) -> FrozenSet[str]:
+    """Locks held at a site: explicit ``with`` frames plus the locks
+    every caller of this (private) method is guaranteed to hold."""
+    return site.held | cls.guard_context(site.method)
+
+
+class LockGuardChecker(Checker):
+    rule = "LOCK001"
+    description = (
+        "attributes of threaded classes are mutated under a consistent "
+        "`with self.<lock>` guard, inferred from existing usage"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for info, cls in _threaded_classes(project):
+            yield from self._check_class(info, cls)
+
+    def _check_class(
+        self, info: ModuleInfo, cls: ClassSummary
+    ) -> Iterable[Finding]:
+        mutations: Dict[str, List[AttrSite]] = {}
+        touched_methods: Dict[str, Set[str]] = {}
+        for name in sorted(cls.methods):
+            if name == "__init__":
+                continue
+            summary = cls.methods[name]
+            for site in summary.mutations:
+                if cls.canonical(site.attr) in cls.lock_kinds:
+                    continue
+                mutations.setdefault(site.attr, []).append(site)
+                touched_methods.setdefault(site.attr, set()).add(name)
+            for site in summary.reads:
+                if cls.canonical(site.attr) in cls.lock_kinds:
+                    continue
+                touched_methods.setdefault(site.attr, set()).add(name)
+
+        for attr in sorted(mutations):
+            sites = sorted(mutations[attr], key=lambda s: (s.lineno, s.col))
+            guards: Set[str] = set()
+            for site in sites:
+                guards.update(_effective_held(cls, site) & cls.locks)
+            if guards:
+                for site in sites:
+                    if not (_effective_held(cls, site) & guards):
+                        yield Finding(
+                            path=info.rel_path,
+                            line=site.lineno,
+                            col=site.col,
+                            rule=self.rule,
+                            message=(
+                                f"attribute '{attr}' of threaded class "
+                                f"'{cls.name}' is mutated in {site.method}() "
+                                "without holding "
+                                f"{_render_locks(guards)}, which guards its "
+                                "other mutation sites"
+                            ),
+                        )
+            elif len(touched_methods.get(attr, ())) >= 2:
+                site = sites[0]
+                yield Finding(
+                    path=info.rel_path,
+                    line=site.lineno,
+                    col=site.col,
+                    rule=self.rule,
+                    message=(
+                        f"attribute '{attr}' of threaded class '{cls.name}' "
+                        f"is mutated in {site.method}() and touched from "
+                        f"{_render_methods(touched_methods[attr] - {site.method})} "
+                        "with no lock guard; wrap the sites in "
+                        f"{_render_locks(cls.locks)}"
+                    ),
+                )
+
+
+def _render_locks(locks: Set[str]) -> str:
+    names = sorted(locks)
+    if len(names) == 1:
+        return f"`with self.{names[0]}`"
+    return "one of " + ", ".join(f"`with self.{name}`" for name in names)
+
+
+def _render_methods(methods: Set[str]) -> str:
+    return ", ".join(f"{name}()" for name in sorted(methods))
+
+
+class LockOrderChecker(Checker):
+    rule = "LOCK002"
+    description = (
+        "the project-wide lock-ordering graph is acyclic and no "
+        "non-reentrant lock is re-acquired while held"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        # One project-wide graph: canonical lock id -> successors, with
+        # the acquisition site that introduced each edge (first site in
+        # deterministic order wins, for stable anchoring).
+        edges: Dict[str, Set[str]] = {}
+        sites: Dict[Tuple[str, str], Tuple[ModuleInfo, Acquisition]] = {}
+
+        for info, cls in _threaded_classes(project):
+            entry_held = _may_hold_on_entry(cls)
+            prefix = f"{cls.module}.{cls.name}"
+            for name in sorted(cls.methods):
+                summary = cls.methods[name]
+                for acq in sorted(
+                    summary.acquisitions, key=lambda a: (a.lineno, a.col)
+                ):
+                    held = acq.held | entry_held.get(name, frozenset())
+                    kind = cls.lock_kinds.get(acq.lock, "lock")
+                    if acq.lock in held and kind != "rlock":
+                        yield Finding(
+                            path=info.rel_path,
+                            line=acq.lineno,
+                            col=acq.col,
+                            rule=self.rule,
+                            message=(
+                                f"non-reentrant lock '{prefix}.{acq.lock}' is "
+                                f"acquired in {name}() while already held "
+                                "(self-deadlock); use an RLock or drop the "
+                                "inner `with`"
+                            ),
+                        )
+                    acquired = f"{prefix}.{acq.lock}"
+                    for held_lock in sorted(held):
+                        holder = f"{prefix}.{held_lock}"
+                        if holder == acquired:
+                            continue
+                        edges.setdefault(holder, set()).add(acquired)
+                        edges.setdefault(acquired, set())
+                        sites.setdefault((holder, acquired), (info, acq))
+
+        for cycle in _tarjan_cycles(edges):
+            members = set(cycle)
+            anchor_edge = min(
+                (pair for pair in sites if pair[0] in members and pair[1] in members),
+            )
+            info, acq = sites[anchor_edge]
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield Finding(
+                path=info.rel_path,
+                line=acq.lineno,
+                col=acq.col,
+                rule=self.rule,
+                message=(
+                    f"lock-order inversion (potential deadlock): {chain}; "
+                    "pick one acquisition order and apply it everywhere"
+                ),
+            )
+
+
+def _may_hold_on_entry(cls: ClassSummary) -> Dict[str, FrozenSet[str]]:
+    """Locks that *may* be held when each method starts executing.
+
+    Union over intra-class call sites of (locks held at the call site +
+    locks that may be held entering the caller), to a fixpoint.  Every
+    method also starts with the empty set (external callers hold
+    nothing we know of) — this is a may-analysis: any path that nests
+    acquisitions creates a real ordering edge.
+    """
+    may: Dict[str, Set[str]] = {name: set() for name in cls.methods}
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(cls.methods):
+            summary = cls.methods[name]
+            for call in summary.calls:
+                if call.callee not in may:
+                    continue
+                incoming = set(call.held) | may[name]
+                if not incoming <= may[call.callee]:
+                    may[call.callee] |= incoming
+                    changed = True
+    return {name: frozenset(locks) for name, locks in may.items()}

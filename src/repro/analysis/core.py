@@ -165,6 +165,18 @@ class Project:
     def find(self, predicate) -> Iterator[ModuleInfo]:
         return (module for module in self.modules if predicate(module))
 
+    def graph(self):
+        """The whole-program :class:`~repro.analysis.graph.ProjectGraph`.
+
+        Built on first use from every currently-loaded module and
+        cached; rebuilt if more files load afterwards.  Project-level
+        checkers run after all files are parsed, so they always see the
+        complete graph.
+        """
+        from repro.analysis.graph import graph_for
+
+        return graph_for(self)
+
 
 def _relative(path: Path) -> str:
     try:

@@ -1,0 +1,700 @@
+"""Phase one of the whole-program analysis: the :class:`ProjectGraph`.
+
+Per-module AST visitors (PR 3) see one file at a time, which is enough
+for local hygiene rules but blind to the two bug classes that grow with
+the service layer: layering violations (hot simulation code importing
+the serving stack) and unguarded shared state in threaded classes.
+Both need *one* structure summarizing the whole tree.
+
+This module extracts that structure.  For every parsed module it
+records:
+
+* **imports** — every ``import``/``from`` statement with its *scope*:
+  ``module`` (executes at import time — these are the edges that create
+  load-order coupling and cycles), ``function`` (lazy, runtime-only),
+  or ``type_checking`` (inside ``if TYPE_CHECKING:`` — annotations
+  only, never executed).  ``from pkg import sub`` resolves to the
+  submodule when one exists in the scanned tree, matching runtime
+  semantics.
+* **exports** — the module's public surface (``__all__`` when declared
+  as a literal, else public top-level defs/classes/constants).
+* **classes** — per class: resolved base names, the *lock attributes*
+  (``self.x = threading.Lock()/RLock()/Condition()``), alias resolution
+  for ``Condition(self._lock)`` (the condition shares its underlying
+  lock), thread-entry methods (``threading.Thread(target=self.m)``
+  targets, ``do_*`` handlers of ``*RequestHandler`` subclasses, ``run``
+  of ``threading.Thread`` subclasses), and per-method summaries:
+  attribute mutations and reads with the set of locks held at each
+  site, lock acquisitions with their held-lock context, and intra-class
+  ``self.m()`` calls (for reachability and guard propagation).
+
+Phase two — :mod:`repro.analysis.checkers.architecture` (ARC001) and
+:mod:`repro.analysis.checkers.locks` (LOCK001/LOCK002) — runs rules
+over this graph.  The graph is built once per :class:`Project` and
+shared by every project-level rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.core import ModuleInfo, Project
+
+#: Import scopes, in increasing laziness.
+SCOPE_MODULE = "module"
+SCOPE_FUNCTION = "function"
+SCOPE_TYPE_CHECKING = "type_checking"
+
+#: Method calls on an attribute that mutate the underlying container.
+#: Deliberately excludes ``set`` (``Event.set``/``Gauge.set`` are not
+#: container mutations of the *attribute binding*).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Constructors whose result is a mutual-exclusion primitive.
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+}
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to a dotted module target."""
+
+    source: str  # importing module (dotted)
+    target: str  # imported module (dotted), submodule-resolved
+    lineno: int
+    col: int
+    scope: str  # SCOPE_MODULE | SCOPE_FUNCTION | SCOPE_TYPE_CHECKING
+
+
+@dataclass(frozen=True)
+class AttrSite:
+    """One read or mutation of ``self.<attr>`` inside a method."""
+
+    attr: str
+    method: str
+    lineno: int
+    col: int
+    #: Canonical lock attributes held at this site (aliases resolved).
+    held: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One ``with self.<lock>:`` entry inside a method."""
+
+    lock: str  # canonical lock attribute
+    method: str
+    lineno: int
+    col: int
+    #: Canonical locks already held when this one is acquired.
+    held: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class SelfCall:
+    """An intra-class ``self.m(...)`` call site."""
+
+    callee: str
+    method: str
+    lineno: int
+    #: Canonical locks held at the call site.
+    held: FrozenSet[str]
+
+
+@dataclass
+class MethodSummary:
+    """What one method does to shared state."""
+
+    name: str
+    lineno: int
+    mutations: List[AttrSite] = field(default_factory=list)
+    reads: List[AttrSite] = field(default_factory=list)
+    acquisitions: List[Acquisition] = field(default_factory=list)
+    calls: List[SelfCall] = field(default_factory=list)
+
+
+@dataclass
+class ClassSummary:
+    """Shared-state summary of one class definition."""
+
+    name: str
+    module: str
+    lineno: int
+    bases: Tuple[str, ...]
+    methods: Dict[str, MethodSummary] = field(default_factory=dict)
+    #: lock attribute -> canonical lock attribute (Condition(self._lock)
+    #: aliases to _lock; independent locks map to themselves).
+    lock_aliases: Dict[str, str] = field(default_factory=dict)
+    #: canonical lock attribute -> constructor kind ("lock"/"rlock"/
+    #: "condition").
+    lock_kinds: Dict[str, str] = field(default_factory=dict)
+    #: Methods that run on their own thread: Thread targets, do_*
+    #: handlers, run() of a Thread subclass.
+    thread_entries: Set[str] = field(default_factory=set)
+
+    @property
+    def locks(self) -> Set[str]:
+        """Canonical lock attributes of this class."""
+        return set(self.lock_kinds)
+
+    def canonical(self, attr: str) -> str:
+        return self.lock_aliases.get(attr, attr)
+
+    def entry_reachable(self) -> Set[str]:
+        """Methods reachable from a thread entry via ``self.m()`` calls."""
+        frontier = sorted(self.thread_entries & set(self.methods))
+        reachable: Set[str] = set()
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            summary = self.methods.get(name)
+            if summary is None:
+                continue
+            for call in summary.calls:
+                if call.callee in self.methods and call.callee not in reachable:
+                    frontier.append(call.callee)
+        return reachable
+
+    def guard_context(self, method: str) -> FrozenSet[str]:
+        """Locks guaranteed held whenever ``method`` runs.
+
+        A private helper called *only* from sites that hold lock L is
+        effectively guarded by L even though it takes no lock itself
+        (``JobQueue._finish`` is the house example).  Entry points,
+        public methods (externally callable), and uncalled methods get
+        the empty context.  Call cycles resolve conservatively to the
+        empty context.
+        """
+        return self._guard_context(method, frozenset())
+
+    def _guard_context(self, method: str, visiting: FrozenSet[str]) -> FrozenSet[str]:
+        if (
+            method in visiting
+            or method in self.thread_entries
+            or not method.startswith("_")
+            or method.startswith("__")
+        ):
+            return frozenset()
+        sites = [
+            call
+            for summary in self.methods.values()
+            for call in summary.calls
+            if call.callee == method
+        ]
+        if not sites:
+            return frozenset()
+        visiting = visiting | {method}
+        contexts = [
+            call.held | self._guard_context(call.method, visiting) for call in sites
+        ]
+        shared = contexts[0]
+        for context in contexts[1:]:
+            shared = shared & context
+        return frozenset(shared)
+
+
+@dataclass
+class ModuleNode:
+    """One module's contribution to the project graph."""
+
+    module: str
+    rel_path: str
+    imports: List[ImportEdge] = field(default_factory=list)
+    exports: Tuple[str, ...] = ()
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+
+
+class ProjectGraph:
+    """The whole-program structure phase-two rules run over."""
+
+    def __init__(self, nodes: Dict[str, ModuleNode]) -> None:
+        self.nodes = nodes
+
+    @property
+    def modules(self) -> List[ModuleNode]:
+        return [self.nodes[name] for name in sorted(self.nodes)]
+
+    def import_edges(self, scopes: Optional[Set[str]] = None) -> List[ImportEdge]:
+        """Every import edge, optionally restricted to some scopes."""
+        edges: List[ImportEdge] = []
+        for node in self.modules:
+            for edge in node.imports:
+                if scopes is None or edge.scope in scopes:
+                    edges.append(edge)
+        return edges
+
+    def classes(self) -> List[ClassSummary]:
+        return [
+            summary
+            for node in self.modules
+            for _, summary in sorted(node.classes.items())
+        ]
+
+    def import_cycles(self) -> List[List[str]]:
+        """Cycles among the scanned modules' import-time edges.
+
+        Only ``scope == "module"`` edges participate: a lazy
+        function-scope import is the standard cycle-breaking idiom and
+        does not execute at load time.  Returns each strongly connected
+        component with more than one member, members sorted, components
+        sorted by first member.
+        """
+        graph: Dict[str, Set[str]] = {name: set() for name in self.nodes}
+        for edge in self.import_edges(scopes={SCOPE_MODULE}):
+            if edge.target in self.nodes and edge.target != edge.source:
+                graph[edge.source].add(edge.target)
+        return _tarjan_cycles(graph)
+
+
+def _tarjan_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components of size > 1, deterministic order."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def connect(root: str) -> None:
+        # Iterative Tarjan: (node, iterator-position) work stack.
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cycles.append(sorted(component))
+
+    for name in sorted(graph):
+        if name not in index:
+            connect(name)
+    cycles.sort()
+    return cycles
+
+
+# -- extraction ------------------------------------------------------
+
+
+def build_graph(project: Project) -> ProjectGraph:
+    """Extract a :class:`ProjectGraph` from every loaded module."""
+    known = {module.module for module in project.modules}
+    nodes: Dict[str, ModuleNode] = {}
+    for module in project.modules:
+        nodes[module.module] = ModuleNode(
+            module=module.module,
+            rel_path=module.rel_path,
+            imports=_extract_imports(module, known),
+            exports=_extract_exports(module),
+            classes=_extract_classes(module),
+        )
+    return ProjectGraph(nodes)
+
+
+def graph_for(project: Project) -> ProjectGraph:
+    """The project's graph, built on first use and cached.
+
+    Project-level checkers run after every file is loaded, so the
+    cached graph is complete by the time any rule asks for it.
+    """
+    cached = getattr(project, "_project_graph", None)
+    if cached is None or getattr(project, "_project_graph_files", -1) != len(
+        project.modules
+    ):
+        cached = build_graph(project)
+        project._project_graph = cached
+        project._project_graph_files = len(project.modules)
+    return cached
+
+
+def _is_type_checking_test(node: ast.If) -> bool:
+    test = node.test
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+    )
+
+
+def _extract_imports(module: ModuleInfo, known: Set[str]) -> List[ImportEdge]:
+    edges: List[ImportEdge] = []
+
+    def resolve_targets(node: ast.AST) -> List[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            targets = []
+            for alias in node.names:
+                candidate = f"{node.module}.{alias.name}"
+                # ``from pkg import sub`` binds the submodule when one
+                # exists in the scanned tree; otherwise it binds a
+                # symbol of ``pkg`` itself.
+                targets.append(candidate if candidate in known else node.module)
+            return targets
+        return []
+
+    def walk(body: List[ast.stmt], scope: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for target in resolve_targets(stmt):
+                    edges.append(
+                        ImportEdge(
+                            source=module.module,
+                            target=target,
+                            lineno=stmt.lineno,
+                            col=stmt.col_offset + 1,
+                            scope=scope,
+                        )
+                    )
+            elif isinstance(stmt, ast.If):
+                branch_scope = (
+                    SCOPE_TYPE_CHECKING if _is_type_checking_test(stmt) else scope
+                )
+                walk(stmt.body, branch_scope)
+                walk(stmt.orelse, scope)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(stmt.body, SCOPE_FUNCTION)
+            elif isinstance(stmt, ast.ClassDef):
+                walk(stmt.body, scope)
+            elif isinstance(stmt, (ast.For, ast.While, ast.With, ast.Try)):
+                for child_body in _stmt_bodies(stmt):
+                    walk(child_body, scope)
+
+    walk(module.tree.body, SCOPE_MODULE)
+    # ``from pkg import a, b`` yields one edge per alias; collapse to
+    # one edge per (site, target, scope).
+    unique = sorted(set(edges), key=lambda e: (e.lineno, e.col, e.target, e.scope))
+    return unique
+
+
+def _stmt_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    bodies = []
+    for name in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, name, None)
+        if body:
+            bodies.append(body)
+    for handler in getattr(stmt, "handlers", ()):
+        bodies.append(handler.body)
+    return bodies
+
+
+def _extract_exports(module: ModuleInfo) -> Tuple[str, ...]:
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            )
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            names = [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+            return tuple(sorted(names))
+    public = [
+        node.name
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and not node.name.startswith("_")
+    ]
+    public.extend(
+        target.id
+        for node in module.tree.body
+        if isinstance(node, ast.Assign)
+        for target in node.targets
+        if isinstance(target, ast.Name) and not target.id.startswith("_")
+    )
+    return tuple(sorted(set(public)))
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walks one method body tracking the held-lock context."""
+
+    def __init__(self, summary: MethodSummary, cls: ClassSummary, module: ModuleInfo):
+        self.summary = summary
+        self.cls = cls
+        self.module = module
+        self.held: List[str] = []  # canonical, acquisition order
+
+    def _held(self) -> FrozenSet[str]:
+        return frozenset(self.held)
+
+    # -- lock context ------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        entered: List[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and self.cls.canonical(attr) in self.cls.lock_kinds:
+                canonical = self.cls.canonical(attr)
+                self.summary.acquisitions.append(
+                    Acquisition(
+                        lock=canonical,
+                        method=self.summary.name,
+                        lineno=item.context_expr.lineno,
+                        col=item.context_expr.col_offset + 1,
+                        held=self._held(),
+                    )
+                )
+                self.held.append(canonical)
+                entered.append(canonical)
+            else:
+                # Non-lock context managers may still contain code.
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in entered:
+            self.held.pop()
+
+    # -- mutations and reads -----------------------------------------
+
+    def _record_mutation(self, attr: str, node: ast.AST) -> None:
+        self.summary.mutations.append(
+            AttrSite(
+                attr=attr,
+                method=self.summary.name,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                held=self._held(),
+            )
+        )
+
+    def _mutation_target(self, target: ast.AST) -> Optional[str]:
+        attr = _self_attr(target)
+        if attr is not None:
+            return attr
+        # self.attr[i] = ... / del self.attr[i]
+        if isinstance(target, ast.Subscript):
+            return _self_attr(target.value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                found = self._mutation_target(element)
+                if found is not None:
+                    return found
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = self._mutation_target(target)
+            if attr is not None:
+                self._record_mutation(attr, node)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        attr = self._mutation_target(node.target)
+        if attr is not None and node.value is not None:
+            self._record_mutation(attr, node)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self._mutation_target(node.target)
+        if attr is not None:
+            self._record_mutation(attr, node)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            attr = self._mutation_target(target)
+            if attr is not None:
+                self._record_mutation(attr, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.m(...) — intra-class call.
+            callee = _self_attr(func)
+            if callee is not None:
+                self.summary.calls.append(
+                    SelfCall(
+                        callee=callee,
+                        method=self.summary.name,
+                        lineno=node.lineno,
+                        held=self._held(),
+                    )
+                )
+            # self.attr.append(...) — container mutation.
+            owner = _self_attr(func.value)
+            if owner is not None and func.attr in _MUTATOR_METHODS:
+                self._record_mutation(owner, node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            self.summary.reads.append(
+                AttrSite(
+                    attr=attr,
+                    method=self.summary.name,
+                    lineno=node.lineno,
+                    col=node.col_offset + 1,
+                    held=self._held(),
+                )
+            )
+        self.generic_visit(node)
+
+    # Nested defs/lambdas run later on unknown threads; their bodies do
+    # not inherit the held-lock context.  Record their state touches
+    # with an empty context rather than a wrong one.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self.held = self.held, []
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.held = self.held, []
+        self.visit(node.body)
+        self.held = saved
+
+
+def _extract_classes(module: ModuleInfo) -> Dict[str, ClassSummary]:
+    classes: Dict[str, ClassSummary] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes[node.name] = _summarize_class(module, node)
+    return classes
+
+
+def _summarize_class(module: ModuleInfo, node: ast.ClassDef) -> ClassSummary:
+    bases = tuple(
+        resolved
+        for base in node.bases
+        if (resolved := module.resolve(base)) is not None
+    )
+    summary = ClassSummary(
+        name=node.name, module=module.module, lineno=node.lineno, bases=bases
+    )
+    methods = [
+        stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+    # Pass 1: lock attributes and their aliases (assignment order
+    # matters — ``Condition(self._lock)`` needs ``_lock`` known first,
+    # and methods run in declaration order with __init__ first).
+    for method in sorted(methods, key=lambda m: (m.name != "__init__",)):
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            resolved = module.resolve(value.func)
+            kind = _LOCK_CONSTRUCTORS.get(resolved or "")
+            if kind is None:
+                continue
+            for target in stmt.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                # Condition(self._lock) shares the wrapped lock.
+                wrapped = None
+                if kind == "condition" and value.args:
+                    wrapped = _self_attr(value.args[0])
+                if wrapped is not None and wrapped in summary.lock_aliases:
+                    summary.lock_aliases[attr] = summary.lock_aliases[wrapped]
+                else:
+                    summary.lock_aliases[attr] = attr
+                    summary.lock_kinds[attr] = kind
+
+    # Pass 2: thread entries declared structurally.
+    if any("RequestHandler" in base for base in bases):
+        summary.thread_entries.update(
+            method.name for method in methods if method.name.startswith("do_")
+        )
+    if any(base == "threading.Thread" for base in bases):
+        summary.thread_entries.update(
+            method.name for method in methods if method.name == "run"
+        )
+    for method in methods:
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, ast.Call):
+                continue
+            resolved = module.resolve(stmt.func)
+            if resolved != "threading.Thread":
+                continue
+            for keyword in stmt.keywords:
+                if keyword.arg == "target":
+                    target = _self_attr(keyword.value)
+                    if target is not None:
+                        summary.thread_entries.add(target)
+
+    # Pass 3: per-method state summaries under lock context.
+    for method in methods:
+        info = MethodSummary(name=method.name, lineno=method.lineno)
+        visitor = _MethodVisitor(info, summary, module)
+        for stmt in method.body:
+            visitor.visit(stmt)
+        summary.methods[method.name] = info
+    return summary

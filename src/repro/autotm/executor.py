@@ -25,7 +25,7 @@ from repro.autotm.model import PlacementMode, PlacementPlan
 from repro.config import BATCH_LINES, PlatformConfig
 from repro.errors import ConfigurationError, InvariantError
 from repro.memsys.backends import FlatBackend
-from repro.memsys.counters import (
+from repro.perf.counters import (
     AccessContext,
     AccessKind,
     Pattern,

@@ -12,7 +12,7 @@ import enum
 from types import MappingProxyType
 from typing import Mapping
 
-from repro.memsys.counters import Traffic
+from repro.perf.counters import Traffic
 
 
 class RequestOutcome(enum.Enum):

@@ -19,7 +19,7 @@ from typing import Dict, Protocol, Tuple
 import numpy as np
 
 from repro import obs
-from repro.memsys.counters import AccessKind, TagStats, Traffic, as_lines
+from repro.perf.counters import AccessKind, TagStats, Traffic, as_lines
 
 __all__ = ["AccessKind", "CacheModel", "as_lines", "record_cache_metrics"]
 

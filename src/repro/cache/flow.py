@@ -39,7 +39,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.cache.base import as_lines
-from repro.memsys.counters import TagStats, Traffic
+from repro.perf.counters import TagStats, Traffic
 
 
 @dataclass

@@ -39,7 +39,7 @@ import numpy as np
 from repro.cache import engine as _engine_ops
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.errors import ConfigurationError
-from repro.memsys.counters import TagStats, Traffic
+from repro.perf.counters import TagStats, Traffic
 from repro.perf.segments import SegmentedBatch
 from repro.units import CACHE_LINE
 

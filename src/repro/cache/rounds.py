@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.cache.base import as_lines
 from repro.errors import ConfigurationError
-from repro.memsys.counters import TagStats, Traffic
+from repro.perf.counters import TagStats, Traffic
 from repro.units import CACHE_LINE
 
 _INVALID = np.int64(-1)

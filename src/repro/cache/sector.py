@@ -35,7 +35,7 @@ import numpy as np
 from repro.cache import engine as _engine_ops
 from repro.cache.base import as_lines, record_cache_metrics
 from repro.errors import ConfigurationError
-from repro.memsys.counters import TagStats, Traffic
+from repro.perf.counters import TagStats, Traffic
 from repro.perf.segments import SegmentedBatch
 from repro.units import CACHE_LINE
 

@@ -15,7 +15,7 @@ from repro.graphs import (
     pagerank_push,
 )
 from repro.graphs.sage import setup_2lm, setup_numa, setup_sage
-from repro.memsys.counters import TagStats, Traffic
+from repro.perf.counters import TagStats, Traffic
 from repro.perf import CounterSampler, Trace
 from repro.units import CACHE_LINE, GB, to_gb_per_s
 

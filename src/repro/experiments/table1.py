@@ -26,7 +26,7 @@ from repro.errors import InvariantError
 from repro.exec import SweepSpec, run_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import cnn_platform
-from repro.memsys.counters import Traffic
+from repro.perf.counters import Traffic
 from repro.perf.report import render_table
 
 _REQUESTS = 4096

@@ -18,7 +18,7 @@ from repro.exec import SweepSpec, run_sweep
 from repro.experiments.autotm_common import run_2lm, run_autotm
 from repro.experiments.base import ExperimentResult
 from repro.experiments.platform import PAPER_TABLE2, cnn_platform_for
-from repro.memsys.counters import Traffic
+from repro.perf.counters import Traffic
 from repro.perf.report import render_table
 from repro.units import CACHE_LINE, GB
 

@@ -34,7 +34,7 @@ from repro.config import BATCH_LINES
 from repro.errors import ConfigurationError
 from repro.graphs.csr import CSRGraph
 from repro.memsys.backends import MemoryBackend
-from repro.memsys.counters import AccessContext, AccessKind, Pattern
+from repro.perf.counters import AccessContext, AccessKind, Pattern
 from repro.perf.sampler import CounterSampler
 
 _BATCH_LINES = BATCH_LINES

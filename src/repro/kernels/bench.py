@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.memsys.counters import Pattern, StoreType
+from repro.perf.counters import Pattern, StoreType
 from repro.units import CACHE_LINE
 
 

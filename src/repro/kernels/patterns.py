@@ -24,7 +24,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.kernels.lfsr import lfsr_sequence
-from repro.memsys.counters import Pattern
+from repro.perf.counters import Pattern
 from repro.units import CACHE_LINE
 
 

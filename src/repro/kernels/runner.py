@@ -20,7 +20,7 @@ from repro.cpu.llc import LLCModel, WritebackQueue
 from repro.kernels.bench import Kernel, KernelSpec
 from repro.kernels.patterns import access_blocks
 from repro.memsys.backends import MemoryBackend
-from repro.memsys.counters import AccessContext, StoreType, TagStats, Traffic
+from repro.perf.counters import AccessContext, StoreType, TagStats, Traffic
 from repro.units import CACHE_LINE, to_gb_per_s
 
 #: Lines per backend call; large enough to amortize numpy overhead,

@@ -7,7 +7,7 @@ two system configurations the paper compares — 1LM (app-direct / flat)
 and 2LM (DRAM cache in front of NVRAM).
 """
 
-from repro.memsys.counters import (
+from repro.perf.counters import (
     AccessContext,
     AccessKind,
     CounterSnapshot,

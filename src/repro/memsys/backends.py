@@ -24,7 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.config import PlatformConfig
-from repro.memsys.counters import (
+from repro.perf.counters import (
     AccessContext,
     AccessKind,
     TagStats,

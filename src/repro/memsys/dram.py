@@ -9,7 +9,7 @@ sustained-bandwidth curve with a mild random-access derating.
 from __future__ import annotations
 
 from repro.config import DRAMConfig
-from repro.memsys.counters import AccessContext, Pattern
+from repro.perf.counters import AccessContext, Pattern
 
 
 class DRAMDevice:

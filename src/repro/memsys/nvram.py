@@ -17,7 +17,7 @@ Captures the NVRAM behaviour the paper's analysis depends on
 from __future__ import annotations
 
 from repro.config import NVRAMConfig
-from repro.memsys.counters import AccessContext, Pattern
+from repro.perf.counters import AccessContext, Pattern
 
 
 class NVRAMDevice:

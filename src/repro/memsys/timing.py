@@ -1,7 +1,7 @@
 """Epoch-based timing engine.
 
 The simulator is *traffic-first*: workloads and the cache model produce
-exact per-device access counts (a :class:`~repro.memsys.counters.Traffic`
+exact per-device access counts (a :class:`~repro.perf.counters.Traffic`
 record), and this module converts a traffic record plus its execution
 context into elapsed seconds.  Elapsed time for an epoch is the largest
 of the independent rate limits:
@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import PlatformConfig
-from repro.memsys.counters import AccessContext, Traffic
+from repro.perf.counters import AccessContext, Traffic
 from repro.memsys.dram import DRAMDevice
 from repro.memsys.nvram import NVRAMDevice
 

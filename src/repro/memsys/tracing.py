@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.memsys.backends import AccessReport, MemoryBackend
-from repro.memsys.counters import AccessContext, AccessKind, Pattern
+from repro.perf.counters import AccessContext, AccessKind, Pattern
 
 
 @dataclass

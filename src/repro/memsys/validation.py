@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cache.amplification import AMPLIFICATION_TABLE, RequestOutcome
-from repro.memsys.counters import TagStats, Traffic
+from repro.perf.counters import TagStats, Traffic
 
 
 @dataclass(frozen=True)

@@ -33,7 +33,7 @@ from repro import obs
 from repro.config import BATCH_LINES
 from repro.errors import ConfigurationError
 from repro.memsys.backends import MemoryBackend
-from repro.memsys.counters import (
+from repro.perf.counters import (
     AccessContext,
     AccessKind,
     Pattern,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.memsys.counters import CounterSnapshot, UncoreCounters
+from repro.perf.counters import CounterSnapshot, UncoreCounters
 from repro.perf.trace import Trace, TracePoint
 
 

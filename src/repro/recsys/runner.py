@@ -25,7 +25,7 @@ from repro.cache import DirectMappedCache
 from repro.config import BATCH_LINES, PlatformConfig
 from repro.errors import ConfigurationError
 from repro.memsys.backends import CachedBackend, FlatBackend, MemoryBackend
-from repro.memsys.counters import (
+from repro.perf.counters import (
     AccessContext,
     AccessKind,
     Pattern,

@@ -81,7 +81,8 @@ class WorkerPool:
                 target=self._worker_loop, name=f"repro-worker-{index}", daemon=True
             )
             thread.start()
-            self._threads.append(thread)
+            with self._merge_lock:
+                self._threads.append(thread)
 
     def stop(self, timeout: Optional[float] = None) -> None:
         """Signal workers to exit and join them.
@@ -90,7 +91,12 @@ class WorkerPool:
         (``claim`` keeps serving a closed queue until it is empty).
         """
         self._stop.set()
-        for thread in self._threads:
+        # Snapshot under the lock, join outside it: joining while
+        # holding _merge_lock would deadlock against a worker waiting
+        # for it to merge telemetry.
+        with self._merge_lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout)
 
     # -- the worker loop ---------------------------------------------

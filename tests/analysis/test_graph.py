@@ -1,0 +1,231 @@
+"""ProjectGraph extraction: imports, exports, locks, thread entries."""
+
+import textwrap
+
+from repro.analysis.core import Project, iter_source_files
+from repro.analysis.graph import (
+    SCOPE_FUNCTION,
+    SCOPE_MODULE,
+    SCOPE_TYPE_CHECKING,
+    build_graph,
+)
+
+
+def make_tree(tmp_path, files):
+    """Write ``rel_path -> source`` files, adding __init__.py as needed."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != tmp_path:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    project = Project()
+    for path in iter_source_files([tmp_path]):
+        project.load(path)
+    return build_graph(project)
+
+
+class TestImportEdges:
+    def test_scopes_are_classified(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {
+                "repro/cache/hot.py": """\
+                from typing import TYPE_CHECKING
+
+                import repro.units
+
+                if TYPE_CHECKING:
+                    import repro.service.http
+
+
+                def lazy():
+                    import repro.report.render
+                    return repro.report.render
+                """,
+            },
+        )
+        edges = {
+            edge.target: edge.scope
+            for edge in graph.nodes["repro.cache.hot"].imports
+        }
+        assert edges["repro.units"] == SCOPE_MODULE
+        assert edges["repro.service.http"] == SCOPE_TYPE_CHECKING
+        assert edges["repro.report.render"] == SCOPE_FUNCTION
+
+    def test_from_import_resolves_to_submodule_when_scanned(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {
+                "repro/cache/engine.py": "X = 1\n",
+                "repro/cache/user.py": "from repro.cache import engine\n",
+                "repro/other.py": "from repro.cache import missing_symbol\n",
+            },
+        )
+        user = {e.target for e in graph.nodes["repro.cache.user"].imports}
+        other = {e.target for e in graph.nodes["repro.other"].imports}
+        assert "repro.cache.engine" in user  # submodule, not the package
+        assert "repro.cache" in other  # unknown name: binds the package
+
+    def test_alias_statements_collapse_to_one_edge_per_target(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {"repro/m.py": "from repro.perf.counters import Traffic, TagStats\n"},
+        )
+        assert len(graph.nodes["repro.m"].imports) == 1
+
+    def test_cycles_found_on_import_time_edges_only(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {
+                "repro/a.py": "import repro.b\n",
+                "repro/b.py": "import repro.a\n",
+                "repro/c.py": "def f():\n    import repro.d\n",
+                "repro/d.py": "import repro.c\n",
+            },
+        )
+        assert graph.import_cycles() == [["repro.a", "repro.b"]]
+
+
+class TestExports:
+    def test_all_literal_wins(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {
+                "repro/m.py": """\
+                __all__ = ["b", "a"]
+
+
+                def a():
+                    return 1
+
+
+                def hidden():
+                    return 2
+                """,
+            },
+        )
+        assert graph.nodes["repro.m"].exports == ("a", "b")
+
+    def test_fallback_is_public_toplevel_names(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {
+                "repro/m.py": """\
+                LIMIT = 3
+                _SECRET = 4
+
+
+                class Model:
+                    pass
+
+
+                def run():
+                    return Model()
+                """,
+            },
+        )
+        assert graph.nodes["repro.m"].exports == ("LIMIT", "Model", "run")
+
+
+WORKERISH = """\
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._other = threading.RLock()
+        self._stop = threading.Event()
+        self._items = []
+
+    def start(self):
+        thread = threading.Thread(target=self._loop)
+        thread.start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            self._drain()
+
+    def _drain(self):
+        with self._ready:
+            self._items.pop()
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def reset(self):
+        self._items = []
+        self._stop.set()
+"""
+
+
+class TestClassSummaries:
+    def test_locks_aliases_and_entries(self, tmp_path):
+        graph = make_tree(tmp_path, {"repro/pool.py": WORKERISH})
+        pool = graph.nodes["repro.pool"].classes["Pool"]
+        assert pool.lock_kinds == {"_lock": "lock", "_other": "rlock"}
+        assert pool.canonical("_ready") == "_lock"
+        assert pool.thread_entries == {"_loop"}
+        assert pool.entry_reachable() == {"_loop", "_drain"}
+
+    def test_mutations_carry_held_lock_context(self, tmp_path):
+        graph = make_tree(tmp_path, {"repro/pool.py": WORKERISH})
+        pool = graph.nodes["repro.pool"].classes["Pool"]
+        drain = {
+            (site.attr, tuple(sorted(site.held)))
+            for site in pool.methods["_drain"].mutations
+        }
+        push = {
+            (site.attr, tuple(sorted(site.held)))
+            for site in pool.methods["push"].mutations
+        }
+        reset = {
+            (site.attr, tuple(sorted(site.held)))
+            for site in pool.methods["reset"].mutations
+        }
+        assert drain == {("_items", ("_lock",))}  # via the condition alias
+        assert push == {("_items", ("_lock",))}
+        # Event.set is not a container mutation; only the rebind counts.
+        assert reset == {("_items", ())}
+
+    def test_guard_context_propagates_to_private_helpers(self, tmp_path):
+        graph = make_tree(
+            tmp_path,
+            {
+                "repro/svc.py": """\
+                import threading
+
+
+                class Svc:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._jobs = {}
+
+                    def submit(self, job):
+                        with self._lock:
+                            self._admit(job)
+
+                    def retry(self, job):
+                        with self._lock:
+                            self._admit(job)
+
+                    def _admit(self, job):
+                        self._jobs[job.id] = job
+
+                    def peek(self):
+                        return len(self._jobs)
+                """,
+            },
+        )
+        svc = graph.nodes["repro.svc"].classes["Svc"]
+        # _admit is only ever called under _lock -> inherits the guard.
+        assert svc.guard_context("_admit") == frozenset({"_lock"})
+        # peek is public: externally callable with no guard guarantee.
+        assert svc.guard_context("peek") == frozenset()

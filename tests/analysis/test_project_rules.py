@@ -1,0 +1,458 @@
+"""ARC001/LOCK001/LOCK002 fixture tests: seeded violations at known lines.
+
+Each rule must fire on its seeded violation and stay silent on the
+guarded/ordered/downward equivalent — the acceptance contract for the
+whole-program rules.
+"""
+
+import textwrap
+
+from repro.analysis import run_analysis
+from repro.analysis.checkers.architecture import ArchitectureChecker
+from repro.analysis.checkers.locks import LockGuardChecker, LockOrderChecker
+
+
+def lint_tree(tmp_path, files, checker):
+    """Write ``rel_path -> source`` files (with __init__.py) and lint."""
+    paths = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != tmp_path:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return run_analysis([tmp_path], checkers=[checker]).findings
+
+
+class TestArchitectureLayers:
+    def test_upward_import_fires_at_the_import_line(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/perf/bad.py": """\
+                import repro.cache.model
+
+
+                def f():
+                    return repro.cache.model
+                """,
+            },
+            ArchitectureChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [("ARC001", 1)]
+        assert "layer violation" in findings[0].message
+        assert "'repro.perf' (layer 1, observability)" in findings[0].message
+
+    def test_lazy_upward_import_still_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/cache/sneaky.py": """\
+                def render():
+                    import repro.report.pages
+                    return repro.report.pages
+                """,
+            },
+            ArchitectureChecker(),
+        )
+        assert [(f.rule, f.line) for f in findings] == [("ARC001", 2)]
+
+    def test_downward_and_same_layer_imports_pass(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/cache/fine.py": "import repro.units\nimport repro.obs\n",
+                "repro/service/also_fine.py": "import repro.report.pages\n",
+            },
+            ArchitectureChecker(),
+        )
+        assert findings == []
+
+    def test_type_checking_imports_are_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/perf/typed.py": """\
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    import repro.cache.model
+                """,
+            },
+            ArchitectureChecker(),
+        )
+        assert findings == []
+
+    def test_entry_points_may_wire_all_layers(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/experiments/cli.py": """\
+                def serve():
+                    import repro.service.http
+                    return repro.service.http
+                """,
+            },
+            ArchitectureChecker(),
+        )
+        assert findings == []
+
+    def test_unknown_package_is_a_finding(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"repro/widgets/ui.py": "import repro.cache.model\n"},
+            ArchitectureChecker(),
+        )
+        assert [f.rule for f in findings] == ["ARC001"]
+        assert "'repro.widgets' is not assigned to a layer" in findings[0].message
+
+    def test_suppression_on_the_import_line_silences_arc001(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/perf/declared.py": (
+                    "import repro.cache.model  # repro-lint: disable=ARC001\n"
+                ),
+            },
+            ArchitectureChecker(),
+        )
+        assert findings == []
+
+
+class TestArchitectureCycles:
+    def test_import_cycle_fires_once_anchored_at_smallest_module(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/cache/a.py": "import repro.cache.b\n",
+                "repro/cache/b.py": "import repro.cache.a\n",
+            },
+            ArchitectureChecker(),
+        )
+        assert [(f.rule, f.path.endswith("a.py"), f.line) for f in findings] == [
+            ("ARC001", True, 1)
+        ]
+        assert (
+            "import cycle: repro.cache.a -> repro.cache.b -> repro.cache.a"
+            in findings[0].message
+        )
+
+    def test_lazy_import_breaks_the_cycle(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/cache/a.py": "import repro.cache.b\n",
+                "repro/cache/b.py": "def f():\n    import repro.cache.a\n",
+            },
+            ArchitectureChecker(),
+        )
+        assert findings == []
+
+
+THREADED_PREAMBLE = """\
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = []
+
+    def start(self):
+        threading.Thread(target=self._loop).start()
+
+    def _loop(self):
+        while True:
+            pass
+
+"""
+
+
+class TestLockGuards:
+    def test_unguarded_shared_mutation_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": THREADED_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def push(self, job):
+                            self._jobs.append(job)
+
+                        def drain(self):
+                            return list(self._jobs)
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockGuardChecker(),
+        )
+        assert [f.rule for f in findings] == ["LOCK001"]
+        assert "'_jobs'" in findings[0].message
+        assert "no lock guard" in findings[0].message
+
+    def test_guarded_equivalent_is_silent(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": THREADED_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def push(self, job):
+                            with self._lock:
+                                self._jobs.append(job)
+
+                        def drain(self):
+                            with self._lock:
+                                return list(self._jobs)
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockGuardChecker(),
+        )
+        assert findings == []
+
+    def test_inconsistent_guard_fires_at_the_unguarded_site(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": THREADED_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def push(self, job):
+                            with self._lock:
+                                self._jobs.append(job)
+
+                        def forgot(self, job):
+                            self._jobs.append(job)
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockGuardChecker(),
+        )
+        assert [f.rule for f in findings] == ["LOCK001"]
+        assert "forgot()" in findings[0].message
+        assert "`with self._lock`" in findings[0].message
+
+    def test_guard_through_private_helper_is_recognized(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": THREADED_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def push(self, job):
+                            with self._lock:
+                                self._admit(job)
+
+                        def retry(self, job):
+                            with self._lock:
+                                self._admit(job)
+
+                        def _admit(self, job):
+                            self._jobs.append(job)
+
+                        def snapshot(self):
+                            with self._lock:
+                                return list(self._jobs)
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockGuardChecker(),
+        )
+        assert findings == []
+
+    def test_single_threaded_class_is_out_of_scope(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/plain.py": """\
+                import threading
+
+
+                class Plain:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._jobs = []
+
+                    def push(self, job):
+                        self._jobs.append(job)
+
+                    def drain(self):
+                        return list(self._jobs)
+                """,
+            },
+            LockGuardChecker(),
+        )
+        assert findings == []
+
+
+LOCKPAIR_PREAMBLE = """\
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def start(self):
+        threading.Thread(target=self._loop).start()
+
+    def _loop(self):
+        while True:
+            pass
+
+"""
+
+
+class TestLockOrdering:
+    def test_inversion_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": LOCKPAIR_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def forward(self):
+                            with self._a:
+                                with self._b:
+                                    pass
+
+                        def backward(self):
+                            with self._b:
+                                with self._a:
+                                    pass
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockOrderChecker(),
+        )
+        assert [f.rule for f in findings] == ["LOCK002"]
+        assert "lock-order inversion" in findings[0].message
+        assert "repro.service.pool.Pool._a" in findings[0].message
+
+    def test_consistent_order_is_silent(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": LOCKPAIR_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def forward(self):
+                            with self._a:
+                                with self._b:
+                                    pass
+
+                        def also_forward(self):
+                            with self._a:
+                                with self._b:
+                                    pass
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockOrderChecker(),
+        )
+        assert findings == []
+
+    def test_inversion_through_a_helper_call_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": LOCKPAIR_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def forward(self):
+                            with self._a:
+                                self._grab_b()
+
+                        def _grab_b(self):
+                            with self._b:
+                                pass
+
+                        def backward(self):
+                            with self._b:
+                                with self._a:
+                                    pass
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockOrderChecker(),
+        )
+        assert [f.rule for f in findings] == ["LOCK002"]
+
+    def test_reacquiring_a_plain_lock_is_self_deadlock(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": LOCKPAIR_PREAMBLE
+                + textwrap.indent(
+                    textwrap.dedent(
+                        """\
+                        def nested(self):
+                            with self._a:
+                                with self._a:
+                                    pass
+                        """
+                    ),
+                    "    ",
+                ),
+            },
+            LockOrderChecker(),
+        )
+        assert [f.rule for f in findings] == ["LOCK002"]
+        assert "self-deadlock" in findings[0].message
+
+    def test_rlock_reentry_is_legal(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/service/pool.py": """\
+                import threading
+
+
+                class Pool:
+                    def __init__(self):
+                        self._a = threading.RLock()
+
+                    def start(self):
+                        threading.Thread(target=self._loop).start()
+
+                    def _loop(self):
+                        while True:
+                            pass
+
+                    def nested(self):
+                        with self._a:
+                            with self._a:
+                                pass
+                """,
+            },
+            LockOrderChecker(),
+        )
+        assert findings == []

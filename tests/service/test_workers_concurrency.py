@@ -1,0 +1,136 @@
+"""WorkerPool lock-discipline regressions (LOCK001 fix).
+
+``WorkerPool._threads`` used to be appended in ``start()`` and iterated
+in ``stop()`` with no guard — exactly the shared-state shape LOCK001
+now flags.  The fix serializes both sites on ``_merge_lock`` but joins
+*outside* the lock: a worker blocked on ``_merge_lock`` to merge its
+telemetry must be able to acquire it while ``stop()`` waits for the
+join.  These tests pin both halves of that contract.
+"""
+
+import threading
+import time
+
+from repro.experiments.base import ExperimentResult
+from repro.service.queue import JobQueue, JobRequest
+from repro.service.scheduler import SimulationService
+from repro.service.store import RequestSpec, ResultStore
+from tests.service.test_queue import FakeClock
+
+
+def tiny_experiment(quick=True):
+    return ExperimentResult(name="tiny", title="tiny", data={"quick": quick})
+
+
+def make_service(tmp_path, *, workers=1, clock=None):
+    clock = clock if clock is not None else FakeClock()
+    return SimulationService(
+        ResultStore(tmp_path / "store"),
+        JobQueue(capacity=64, clock=clock),
+        experiments={"tiny": tiny_experiment},
+        workers=workers,
+        salt="s" * 16,
+        clock=clock,
+    )
+
+
+class RecordingThread:
+    """Stands in for a worker thread; records the lock state at join."""
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.join_count = 0
+        self.merge_lock_held_at_join = None
+
+    def join(self, timeout=None):
+        self.join_count += 1
+        self.merge_lock_held_at_join = self.pool._merge_lock.locked()
+
+
+class TestStopJoinDiscipline:
+    def test_stop_joins_threads_outside_the_merge_lock(self, tmp_path):
+        # Joining while holding _merge_lock would deadlock against a
+        # worker waiting for the lock to merge telemetry; stop() must
+        # snapshot the list under the lock and join after releasing it.
+        pool = make_service(tmp_path).workers
+        recorder = RecordingThread(pool)
+        with pool._merge_lock:
+            pool._threads.append(recorder)
+        pool.stop(timeout=0.1)
+        assert recorder.join_count == 1
+        assert recorder.merge_lock_held_at_join is False
+
+    def test_stop_completes_while_a_merge_is_in_flight(self, tmp_path):
+        # A thread holding _merge_lock (a telemetry merge mid-flight)
+        # must only delay stop(), never deadlock it.
+        service = make_service(tmp_path, workers=2)
+        pool = service.workers
+        service.start()
+        release = threading.Event()
+
+        def long_merge():
+            with pool._merge_lock:
+                release.wait(5.0)
+
+        merger = threading.Thread(target=long_merge, daemon=True)
+        merger.start()
+        while not pool._merge_lock.locked():
+            time.sleep(0.001)
+
+        service.queue.close()
+        stopped = threading.Event()
+
+        def do_stop():
+            pool.stop(timeout=5.0)
+            stopped.set()
+
+        stopper = threading.Thread(target=do_stop, daemon=True)
+        stopper.start()
+        release.set()
+        assert stopped.wait(10.0), "stop() deadlocked against the merge lock"
+        merger.join(1.0)
+
+    def test_concurrent_starts_register_every_worker_thread(self, tmp_path):
+        # start() appends under _merge_lock; racing starts must not
+        # lose a thread (a lost thread is a worker stop() never joins).
+        service = make_service(tmp_path, workers=2)
+        pool = service.workers
+        starters = 4
+        barrier = threading.Barrier(starters)
+
+        def racing_start():
+            barrier.wait(5.0)
+            pool.start()
+
+        threads = [
+            threading.Thread(target=racing_start, daemon=True)
+            for _ in range(starters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        with pool._merge_lock:
+            registered = list(pool._threads)
+        assert len(registered) == starters * pool.threads
+        service.queue.close()
+        pool.stop(timeout=5.0)
+        assert all(not worker.is_alive() for worker in registered)
+
+    def test_pool_still_executes_jobs_after_the_fix(self, tmp_path):
+        # End-to-end sanity: the guarded lifecycle still drains a job.
+        clock = FakeClock()
+        service = make_service(tmp_path, workers=1, clock=clock)
+        service.start()
+        spec = RequestSpec.build("tiny", quick=True, salt="t" * 16)
+        job, _ = service.queue.submit(JobRequest(spec=spec))
+        # Real threads need a real wall-clock deadline to avoid hanging
+        # the suite if the pool regresses.
+        deadline = time.monotonic() + 10.0  # repro-lint: disable=DET001
+        while job.state.value not in ("succeeded", "failed"):
+            assert time.monotonic() < deadline, (  # repro-lint: disable=DET001
+                f"job stuck in {job.state}"
+            )
+            time.sleep(0.01)
+        assert job.state.value == "succeeded"
+        service.shutdown(drain=True, timeout=10.0)
