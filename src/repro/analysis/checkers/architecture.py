@@ -9,7 +9,7 @@ layer  name           packages
 0      foundation     units, errors, config
 1      observability  obs, perf
 2      simulation     memsys, cache, kernels, nn, graphs, autotm, cpu,
-                      recsys
+                      recsys, traces
 3      orchestration  experiments, exec
 4      serving        service, report, analysis
 ====== ============== =================================================
@@ -49,7 +49,17 @@ LAYERS: List[Tuple[str, Tuple[str, ...]]] = [
     ("observability", ("obs", "perf")),
     (
         "simulation",
-        ("memsys", "cache", "kernels", "nn", "graphs", "autotm", "cpu", "recsys"),
+        (
+            "memsys",
+            "cache",
+            "kernels",
+            "nn",
+            "graphs",
+            "autotm",
+            "cpu",
+            "recsys",
+            "traces",
+        ),
     ),
     ("orchestration", ("experiments", "exec")),
     ("serving", ("service", "report", "analysis")),

@@ -1,7 +1,7 @@
 """REG001 — experiment modules are registered and sweep-ready.
 
 Cross-module rule: every ``experiments/fig*.py``, ``table*.py``,
-``ablation.py``, ``dlrm.py``, and ``gpt.py`` module must
+``ablation.py``, ``dlrm.py``, ``gpt.py``, and ``kvtrace.py`` module must
 
 * appear in the ``EXPERIMENTS`` dict of the sibling ``registry.py``
   (otherwise the CLI silently cannot run it), and
@@ -31,7 +31,7 @@ def _is_experiment_module(module: ModuleInfo) -> bool:
             path.name.endswith(".py")
             and (path.name.startswith("fig") or path.name.startswith("table"))
         )
-        or path.name in ("ablation.py", "dlrm.py", "gpt.py")
+        or path.name in ("ablation.py", "dlrm.py", "gpt.py", "kvtrace.py")
     )
 
 
@@ -91,9 +91,9 @@ def _declares_sweep_spec(module: ModuleInfo) -> bool:
 class RegistrationChecker(Checker):
     rule = "REG001"
     description = (
-        "every experiments/fig*.py, table*.py, ablation.py, dlrm.py and "
-        "gpt.py is registered in the CLI registry and declares a sweep_spec; "
-        "every registered name has a HEADLINES hook for the catalog"
+        "every experiments/fig*.py, table*.py, ablation.py, dlrm.py, gpt.py "
+        "and kvtrace.py is registered in the CLI registry and declares a "
+        "sweep_spec; every registered name has a HEADLINES hook for the catalog"
     )
 
     def check_project(self, project: Project) -> Iterable[Finding]:

@@ -191,6 +191,33 @@ def _gpt(data: Mapping[str, Any]) -> Dict[str, float]:
     return _pick(data, "speedup", "hit_rate", "nvram_ratio")
 
 
+#: Per-trace verdict metrics the kvtrace hook flattens into the
+#: catalog; the report's hardware-vs-software section is rebuilt from
+#: exactly these, so they must stay derivable from headline rows alone.
+KVTRACE_VERDICT_METRICS = (
+    "hw_gbps",
+    "sw_gbps",
+    "best_hw_gbps",
+    "hw_nvram_writes",
+    "sw_nvram_writes",
+    "hw_hit_rate",
+    "case_holds",
+)
+
+
+def _kvtrace(data: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for trace in sorted(data):
+        node = data.get(trace)
+        if not isinstance(node, Mapping) or "_verdict" not in node:
+            continue  # e.g. the attached "telemetry" payload
+        for metric in KVTRACE_VERDICT_METRICS:
+            value = _num(node, "_verdict", metric)
+            if value is not None:
+                out[f"{trace}_{metric}"] = value
+    return out
+
+
 def _check(data: Mapping[str, Any]) -> Dict[str, float]:
     return _pick(data, "passed", "total", "all_pass")
 
@@ -213,6 +240,7 @@ HEADLINES: Dict[str, Extractor] = {
     "mix": _mix,
     "dlrm": _dlrm,
     "gpt": _gpt,
+    "kvtrace": _kvtrace,
     "check": _check,
 }
 

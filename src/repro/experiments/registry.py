@@ -13,6 +13,7 @@ from repro.experiments import (
     dma,
     fig2,
     gpt,
+    kvtrace,
     mix,
     fig4,
     fig5,
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "mix": mix.run,
     "dlrm": dlrm.run,
     "gpt": gpt.run,
+    "kvtrace": kvtrace.run,
     "check": check.run,
 }
 

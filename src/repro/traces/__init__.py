@@ -1,0 +1,48 @@
+"""Trace-driven storage/KV workload replay (`repro.traces`).
+
+The storage-engine counterpart to the HPC workloads: a compact columnar
+trace format (:mod:`repro.traces.format`), deterministic seeded
+generators for YCSB-style KV mixes, B-tree page churn, and
+log-structured append (:mod:`repro.traces.generators`), and a replay
+engine that drives batched traces through every DRAM-cache model and
+the software-managed flat alternative (:mod:`repro.traces.replay`).
+"""
+
+from repro.traces.format import (
+    OP_APPEND,
+    OP_GET,
+    OP_PUT,
+    Trace,
+    TraceFormatError,
+    TraceHeader,
+)
+from repro.traces.generators import GENERATORS, YCSB_MIXES, generate, regenerate
+from repro.traces.replay import (
+    ALL_MODELS,
+    HARDWARE_MODELS,
+    MODEL_FACTORIES,
+    SOFTWARE_MODEL,
+    ReplayResult,
+    replay_all,
+    replay_trace,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "GENERATORS",
+    "HARDWARE_MODELS",
+    "MODEL_FACTORIES",
+    "OP_APPEND",
+    "OP_GET",
+    "OP_PUT",
+    "ReplayResult",
+    "SOFTWARE_MODEL",
+    "Trace",
+    "TraceFormatError",
+    "TraceHeader",
+    "YCSB_MIXES",
+    "generate",
+    "regenerate",
+    "replay_all",
+    "replay_trace",
+]

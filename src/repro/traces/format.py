@@ -1,0 +1,308 @@
+"""Compact columnar trace format for storage/KV workload replay.
+
+A trace is three parallel numpy columns — operation kind, key, and
+size-in-lines — plus a :class:`TraceHeader` describing how the columns
+were generated.  The on-disk layout is a small versioned binary:
+
+====== ======================================================
+offset contents
+====== ======================================================
+0      magic ``b"RPTR"``
+4      format version, ``<u4``
+8      header length ``H``, ``<u4``
+12     header JSON (UTF-8, sorted keys), ``H`` bytes
+12+H   ``num_ops`` operation codes, ``<u1``
+…      ``num_ops`` keys, ``<i8``
+…      ``num_ops`` sizes in lines, ``<i8``
+====== ======================================================
+
+Everything is little-endian and the header JSON is canonical
+(sorted keys, no whitespace), so serializing the same trace twice —
+on any platform, in any process — produces identical bytes.  That
+byte-stability is load-bearing: the generator-determinism tests hash
+serialized traces across forked workers, and CI replays a *committed*
+golden trace file and diffs the results against a committed JSON.
+
+Sizes are expressed in 64-byte cache lines (:data:`repro.units.CACHE_LINE`),
+the request vocabulary of the whole simulator; generators derive them
+from byte sizes via :func:`repro.units.lines_in`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.config import BATCH_LINES
+from repro.errors import ConfigurationError
+
+MAGIC = b"RPTR"
+FORMAT_VERSION = 1
+
+#: Operation codes of the ``ops`` column.
+OP_GET = 0  #: read the key's lines
+OP_PUT = 1  #: read-modify-write: fetch the key's lines, then write them back
+OP_APPEND = 2  #: blind streaming write (nontemporal), no fetch
+
+OP_NAMES = {OP_GET: "get", OP_PUT: "put", OP_APPEND: "append"}
+
+_HEADER_STRUCT = struct.Struct("<4sII")
+
+
+class TraceFormatError(ConfigurationError):
+    """A trace file is malformed, truncated, or from an unknown version."""
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Provenance and geometry of one trace.
+
+    ``key_space`` is the number of addressable slots (KV keys, B-tree
+    pages, log blocks); ``slot_lines`` is the fixed line footprint of
+    one slot, so the trace addresses ``key_space * slot_lines`` distinct
+    cache lines in total.  ``params`` carries the generator's knobs as
+    plain JSON data, enough to regenerate the trace bit-for-bit.
+    """
+
+    family: str
+    seed: int
+    num_ops: int
+    key_space: int
+    slot_lines: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def __post_init__(self) -> None:
+        if self.num_ops < 0:
+            raise ConfigurationError(f"num_ops must be >= 0, got {self.num_ops}")
+        if self.key_space < 1:
+            raise ConfigurationError(f"key_space must be >= 1, got {self.key_space}")
+        if self.slot_lines < 1:
+            raise ConfigurationError(f"slot_lines must be >= 1, got {self.slot_lines}")
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace): byte-stable."""
+        payload = {
+            "family": self.family,
+            "key_space": self.key_space,
+            "num_ops": self.num_ops,
+            "params": self.params,
+            "seed": self.seed,
+            "slot_lines": self.slot_lines,
+            "version": self.version,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceHeader":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"trace header is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise TraceFormatError("trace header must be a JSON object")
+        try:
+            return cls(
+                family=str(payload["family"]),
+                seed=int(payload["seed"]),
+                num_ops=int(payload["num_ops"]),
+                key_space=int(payload["key_space"]),
+                slot_lines=int(payload["slot_lines"]),
+                params=dict(payload.get("params", {})),
+                version=int(payload.get("version", FORMAT_VERSION)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceFormatError(f"trace header is incomplete: {error!r}") from error
+
+
+class Trace:
+    """An in-memory trace: a header plus three parallel columns.
+
+    ``ops`` is ``uint8`` (:data:`OP_GET`/:data:`OP_PUT`/:data:`OP_APPEND`),
+    ``keys`` and ``sizes`` are ``int64``.  Columns are validated against
+    the header and frozen read-only on construction, so downstream
+    consumers (the replay engine's :class:`~repro.cache.engine.BatchSegmenter`
+    reuse, memoizing callers) can rely on immutability.
+    """
+
+    __slots__ = ("header", "ops", "keys", "sizes")
+
+    def __init__(
+        self,
+        header: TraceHeader,
+        ops: np.ndarray,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        ops = np.ascontiguousarray(ops, dtype=np.uint8)
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+        if not (ops.ndim == keys.ndim == sizes.ndim == 1):
+            raise ConfigurationError("trace columns must be 1-D")
+        if not (ops.size == keys.size == sizes.size == header.num_ops):
+            raise ConfigurationError(
+                f"trace columns must all have header.num_ops={header.num_ops} "
+                f"entries, got {ops.size}/{keys.size}/{sizes.size}"
+            )
+        if ops.size:
+            if int(ops.max()) > OP_APPEND:
+                raise ConfigurationError(f"unknown op code {int(ops.max())}")
+            if int(keys.min()) < 0 or int(keys.max()) >= header.key_space:
+                raise ConfigurationError(
+                    f"keys must lie in [0, {header.key_space}), "
+                    f"got [{int(keys.min())}, {int(keys.max())}]"
+                )
+            if int(sizes.min()) < 1 or int(sizes.max()) > header.slot_lines:
+                raise ConfigurationError(
+                    f"sizes must lie in [1, slot_lines={header.slot_lines}], "
+                    f"got [{int(sizes.min())}, {int(sizes.max())}]"
+                )
+        for column in (ops, keys, sizes):
+            column.flags.writeable = False
+        self.header = header
+        self.ops = ops
+        self.keys = keys
+        self.sizes = sizes
+
+    # -- derived views ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.ops.size)
+
+    @property
+    def total_lines(self) -> int:
+        """Total lines touched by every operation (reads and writes)."""
+        return int(self.sizes.sum())
+
+    @property
+    def footprint_lines(self) -> int:
+        """Distinct cache lines the trace can address."""
+        return self.header.key_space * self.header.slot_lines
+
+    def op_counts(self) -> Dict[str, int]:
+        """``{op name: count}`` over the whole trace."""
+        counts = np.bincount(self.ops, minlength=OP_APPEND + 1)
+        return {OP_NAMES[code]: int(counts[code]) for code in sorted(OP_NAMES)}
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that write (puts plus appends)."""
+        if not self.ops.size:
+            return 0.0
+        return float((self.ops != OP_GET).mean())
+
+    def key_popularity(self) -> np.ndarray:
+        """Lines touched per key over the whole trace (length ``key_space``)."""
+        return np.bincount(
+            self.keys, weights=self.sizes, minlength=self.header.key_space
+        ).astype(np.int64)
+
+    # -- streaming batch iteration ----------------------------------------
+
+    def batches(
+        self, batch_lines: int = BATCH_LINES
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(ops, keys, sizes)`` windows of at most ``batch_lines`` lines.
+
+        Windows are contiguous op ranges; each holds at least one
+        operation (a single op larger than ``batch_lines`` gets its own
+        window), so iteration always covers the whole trace in order.
+        The yielded slices are read-only views, not copies.
+        """
+        if batch_lines < 1:
+            raise ConfigurationError(f"batch_lines must be >= 1, got {batch_lines}")
+        n = len(self)
+        cumulative = np.cumsum(self.sizes)
+        start = 0
+        while start < n:
+            consumed = int(cumulative[start - 1]) if start else 0
+            stop = int(np.searchsorted(cumulative, consumed + batch_lines, side="right"))
+            stop = max(stop, start + 1)
+            yield self.ops[start:stop], self.keys[start:stop], self.sizes[start:stop]
+            start = stop
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The canonical on-disk byte string (see the module docstring)."""
+        header_json = self.header.to_json().encode("utf-8")
+        out = io.BytesIO()
+        out.write(_HEADER_STRUCT.pack(MAGIC, FORMAT_VERSION, len(header_json)))
+        out.write(header_json)
+        out.write(self.ops.astype("<u1", copy=False).tobytes())
+        out.write(self.keys.astype("<i8", copy=False).tobytes())
+        out.write(self.sizes.astype("<i8", copy=False).tobytes())
+        return out.getvalue()
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace to ``path``; returns the path written."""
+        target = Path(path)
+        target.write_bytes(self.to_bytes())
+        return target
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Trace":
+        if len(raw) < _HEADER_STRUCT.size:
+            raise TraceFormatError("trace file is too short for a header")
+        magic, version, header_len = _HEADER_STRUCT.unpack_from(raw, 0)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}; not a repro trace file")
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        body = _HEADER_STRUCT.size
+        header = TraceHeader.from_json(
+            raw[body : body + header_len].decode("utf-8")
+        )
+        n = header.num_ops
+        expected = body + header_len + n * (1 + 8 + 8)
+        if len(raw) != expected:
+            raise TraceFormatError(
+                f"trace file holds {len(raw)} bytes, expected {expected} "
+                f"for {n} operations (truncated or trailing garbage)"
+            )
+        cursor = body + header_len
+        ops = np.frombuffer(raw, dtype="<u1", count=n, offset=cursor)
+        cursor += n
+        keys = np.frombuffer(raw, dtype="<i8", count=n, offset=cursor)
+        cursor += n * 8
+        sizes = np.frombuffer(raw, dtype="<i8", count=n, offset=cursor)
+        return cls(header, ops, keys, sizes)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    # -- equality (used by the determinism tests) --------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.header == other.header and (
+            np.array_equal(self.ops, other.ops)
+            and np.array_equal(self.keys, other.keys)
+            and np.array_equal(self.sizes, other.sizes)
+        )
+
+    def __hash__(self) -> int:  # header identity is enough for memo keys
+        return hash(self.header)
+
+    def describe(self) -> Mapping[str, Any]:
+        """A small plain-data summary for logs and experiment sections."""
+        return {
+            "family": self.header.family,
+            "ops": len(self),
+            "lines": self.total_lines,
+            "write_fraction": round(self.write_fraction, 4),
+            "key_space": self.header.key_space,
+            "slot_lines": self.header.slot_lines,
+        }

@@ -1,0 +1,336 @@
+"""Deterministic, seeded storage/KV trace generators.
+
+Three families, chosen to stress the DRAM cache exactly where the
+storage-side literature says NVRAM hurts most (Fedorova et al.,
+"Writes Hurt"; Peng et al.'s Optane system evaluation):
+
+* :func:`ycsb` — YCSB-style zipfian key-value get/put mixes.  The
+  A/B/C workload mixes differ only in read fraction
+  (:data:`YCSB_MIXES`); skew is the zipfian exponent over key
+  popularity ranks, and ranks are scattered over the key space by a
+  seeded permutation so popular keys do not cluster in address space.
+* :func:`btree` — B-tree page churn.  Every logical operation walks
+  root → internal → leaf (so the root and upper levels are re-read
+  constantly and cache beautifully), inserts dirty the leaf, and every
+  ``split_every``-th insert emits a leaf-split write burst (new leaf +
+  old leaf + parent), the small-random-write pattern WiredTiger-style
+  engines produce.
+* :func:`logappend` — log-structured append: streaming blind writes at
+  the head (no fetch — :data:`~repro.traces.format.OP_APPEND`),
+  occasional read-your-writes gets of recent blocks, and every
+  ``compact_every`` appends a compaction burst that sequentially reads
+  the oldest live blocks and rewrites them as one block.
+
+Every generator is a pure function of its arguments: the only
+randomness is ``np.random.default_rng(seed)``, so a fixed seed yields
+a byte-identical trace in any process — the property the DET001-backed
+fork tests pin down.  Each records its full parameter set in the trace
+header, so :func:`regenerate` can rebuild any trace from its header
+alone (how the committed golden trace is validated in CI).
+
+Byte sizes go through :mod:`repro.units` (:func:`~repro.units.lines_in`)
+to become line counts; generators never hand out raw line literals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.format import OP_APPEND, OP_GET, OP_PUT, Trace, TraceHeader
+from repro.units import KiB, lines_in
+
+#: YCSB core-workload read fractions: A = update heavy, B = read
+#: mostly, C = read only (Cooper et al., SoCC'10).
+YCSB_MIXES: Dict[str, float] = {"a": 0.5, "b": 0.95, "c": 1.0}
+
+
+def _zipf_probabilities(n: int, skew: float) -> np.ndarray:
+    """Zipfian pmf over ``n`` popularity ranks: p(r) ∝ (r+1)^-skew."""
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -skew
+    return weights / weights.sum()
+
+
+def ycsb(
+    num_ops: int = 50_000,
+    key_space: int = 16_384,
+    *,
+    read_fraction: float = 0.5,
+    skew: float = 0.99,
+    value_bytes: int = 1 * KiB,
+    seed: int = 0,
+) -> Trace:
+    """Zipfian KV get/put mix in the style of the YCSB core workloads.
+
+    Each key gets a fixed value size (drawn once, uniform over the top
+    half of the slot) so repeated accesses to a key touch the same
+    lines.  ``read_fraction`` picks gets vs puts per op; puts are
+    read-modify-write (fetch + write back).
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigurationError(
+            f"read_fraction must be in [0, 1], got {read_fraction}"
+        )
+    if skew < 0.0:
+        raise ConfigurationError(f"skew must be non-negative, got {skew}")
+    slot_lines = lines_in(value_bytes)
+    rng = np.random.default_rng(seed)
+
+    ranks = rng.choice(key_space, size=num_ops, p=_zipf_probabilities(key_space, skew))
+    scatter = rng.permutation(key_space)  # rank r lives at key scatter[r]
+    keys = scatter[ranks].astype(np.int64)
+
+    ops = np.where(rng.random(num_ops) < read_fraction, OP_GET, OP_PUT).astype(np.uint8)
+
+    # Per-key value size, fixed for the key's lifetime.
+    value_lines = rng.integers(
+        max(1, slot_lines // 2), slot_lines + 1, size=key_space, dtype=np.int64
+    )
+    sizes = value_lines[keys]
+
+    header = TraceHeader(
+        family="ycsb",
+        seed=seed,
+        num_ops=num_ops,
+        key_space=key_space,
+        slot_lines=slot_lines,
+        params={
+            "key_space": key_space,
+            "num_ops": num_ops,
+            "read_fraction": read_fraction,
+            "skew": skew,
+            "value_bytes": value_bytes,
+        },
+    )
+    return Trace(header, ops, keys, sizes)
+
+
+def btree(
+    num_ops: int = 12_000,
+    *,
+    fanout: int = 64,
+    leaves: int = 4_096,
+    page_bytes: int = 4 * KiB,
+    insert_fraction: float = 0.3,
+    split_every: int = 16,
+    leaf_skew: float = 0.6,
+    seed: int = 0,
+) -> Trace:
+    """B-tree page churn: root-biased re-reads plus leaf-split bursts.
+
+    ``num_ops`` counts *logical* operations (lookups/inserts); each
+    expands to one trace row per page touched, so the trace holds more
+    rows than ``num_ops``.  The page-id layout is level order (root is
+    page 0), so upper levels occupy a small dense prefix of the key
+    space — the hot set every operation revisits.
+    """
+    if fanout < 2:
+        raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+    if leaves < 1:
+        raise ConfigurationError(f"leaves must be >= 1, got {leaves}")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ConfigurationError(
+            f"insert_fraction must be in [0, 1], got {insert_fraction}"
+        )
+    if split_every < 1:
+        raise ConfigurationError(f"split_every must be >= 1, got {split_every}")
+    page_lines = lines_in(page_bytes)
+    rng = np.random.default_rng(seed)
+
+    # Internal levels needed so one root fans out to every leaf.
+    depth = 1
+    while fanout**depth < leaves:
+        depth += 1
+    # level_offsets[k] = first page id of level k; level k holds the
+    # ancestors leaf // fanout**(depth-k).  Level 0 is the root.
+    level_counts = [
+        -(-leaves // fanout ** (depth - k)) for k in range(depth)
+    ]  # ceil division
+    level_offsets = np.concatenate(([0], np.cumsum(level_counts))).astype(np.int64)
+    key_space = int(level_offsets[-1]) + leaves
+
+    leaf_ids = rng.choice(
+        leaves, size=num_ops, p=_zipf_probabilities(leaves, leaf_skew)
+    ).astype(np.int64)
+    is_insert = rng.random(num_ops) < insert_fraction
+    # Every split_every-th insert (in op order) splits its leaf.
+    insert_rank = np.cumsum(is_insert)
+    is_split = is_insert & (insert_rank % split_every == 0)
+
+    # Row layout per op: depth GETs down the internals, one leaf GET,
+    # then for inserts a leaf PUT, and for splits two more PUTs
+    # (sibling leaf + parent).
+    path_rows = depth + 1
+    rows_per_op = path_rows + is_insert.astype(np.int64) + 2 * is_split
+    total_rows = int(rows_per_op.sum())
+    starts = np.cumsum(rows_per_op) - rows_per_op  # exclusive prefix sum
+
+    ops = np.zeros(total_rows, dtype=np.uint8)  # OP_GET
+    keys = np.zeros(total_rows, dtype=np.int64)
+
+    parent = leaf_ids // fanout  # ancestor at level depth-1
+    for level in range(depth):
+        ancestors = leaf_ids // fanout ** (depth - level)
+        keys[starts + level] = level_offsets[level] + ancestors
+    leaf_pages = level_offsets[depth] + leaf_ids
+    keys[starts + depth] = leaf_pages
+
+    put_at = starts[is_insert] + path_rows
+    ops[put_at] = OP_PUT
+    keys[put_at] = leaf_pages[is_insert]
+
+    split_starts = starts[is_split] + path_rows + 1
+    sibling = level_offsets[depth] + (leaf_ids[is_split] + 1) % leaves
+    ops[split_starts] = OP_PUT
+    keys[split_starts] = sibling
+    ops[split_starts + 1] = OP_PUT
+    keys[split_starts + 1] = level_offsets[depth - 1] + parent[is_split]
+
+    sizes = np.full(total_rows, page_lines, dtype=np.int64)
+
+    header = TraceHeader(
+        family="btree",
+        seed=seed,
+        num_ops=total_rows,
+        key_space=key_space,
+        slot_lines=page_lines,
+        params={
+            "fanout": fanout,
+            "insert_fraction": insert_fraction,
+            "leaf_skew": leaf_skew,
+            "leaves": leaves,
+            "num_ops": num_ops,
+            "page_bytes": page_bytes,
+            "split_every": split_every,
+        },
+    )
+    return Trace(header, ops, keys, sizes)
+
+
+def logappend(
+    num_ops: int = 40_000,
+    key_space: int = 32_768,
+    *,
+    block_bytes: int = 4 * KiB,
+    read_fraction: float = 0.1,
+    compact_every: int = 64,
+    compact_reads: int = 8,
+    seed: int = 0,
+) -> Trace:
+    """Log-structured append with compaction reads.
+
+    The head pointer advances one block per append (wrapping over
+    ``key_space``); appends are blind streaming writes (``OP_APPEND``,
+    no fetch).  A ``read_fraction`` slice of ops instead re-reads a
+    recent block (geometric recency).  Every ``compact_every`` appends,
+    compaction sequentially reads the ``compact_reads`` oldest live
+    blocks and rewrites them as one block at the head.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigurationError(
+            f"read_fraction must be in [0, 1], got {read_fraction}"
+        )
+    if compact_every < 1 or compact_reads < 1:
+        raise ConfigurationError("compact_every and compact_reads must be >= 1")
+    block_lines = lines_in(block_bytes)
+    rng = np.random.default_rng(seed)
+
+    is_read = rng.random(num_ops) < read_fraction
+    # Recency of read-back ops: mostly the freshest blocks.
+    lookback = rng.geometric(p=0.25, size=num_ops).astype(np.int64)
+
+    # The head advances only on appends; reads target head - lookback.
+    appended = np.cumsum(~is_read)  # appends completed *through* each op
+    head_before = appended - (~is_read).astype(np.int64)  # head at op time
+    keys = np.where(
+        is_read,
+        np.maximum(head_before - lookback, 0),
+        head_before,
+    )
+    ops = np.where(is_read, OP_GET, OP_APPEND).astype(np.uint8)
+
+    # Compaction bursts: after every compact_every-th append, read the
+    # oldest live span and append one compacted block.
+    total_appends = int(appended[-1]) if num_ops else 0
+    num_compactions = total_appends // compact_every
+    append_positions = np.flatnonzero(~is_read)  # op index of each append
+    burst_rows = compact_reads + 1
+
+    total_rows = num_ops + num_compactions * burst_rows
+    out_ops = np.empty(total_rows, dtype=np.uint8)
+    out_keys = np.empty(total_rows, dtype=np.int64)
+
+    # Destination of each base op, shifted by the bursts inserted before it.
+    trigger_ops = append_positions[
+        compact_every - 1 : compact_every * num_compactions : compact_every
+    ]
+    # An op at index i lands after every burst whose trigger op < i.
+    bursts_before = np.searchsorted(trigger_ops, np.arange(num_ops), side="left")
+    dest = np.arange(num_ops) + bursts_before * burst_rows
+    out_ops[dest] = ops
+    out_keys[dest] = keys
+
+    tail = 0
+    extra_appends = 0  # compacted blocks also advance the head
+    for c in range(num_compactions):
+        pos = int(dest[trigger_ops[c]]) + 1
+        span = (tail + np.arange(compact_reads, dtype=np.int64)) % key_space
+        out_ops[pos : pos + compact_reads] = OP_GET
+        out_keys[pos : pos + compact_reads] = span
+        head = (int(head_before[trigger_ops[c]]) + 1 + extra_appends) % key_space
+        out_ops[pos + compact_reads] = OP_APPEND
+        out_keys[pos + compact_reads] = head
+        tail = (tail + compact_reads) % key_space
+        extra_appends += 1
+
+    out_keys %= key_space
+    sizes = np.full(total_rows, block_lines, dtype=np.int64)
+
+    header = TraceHeader(
+        family="logappend",
+        seed=seed,
+        num_ops=total_rows,
+        key_space=key_space,
+        slot_lines=block_lines,
+        params={
+            "block_bytes": block_bytes,
+            "compact_every": compact_every,
+            "compact_reads": compact_reads,
+            "key_space": key_space,
+            "num_ops": num_ops,
+            "read_fraction": read_fraction,
+        },
+    )
+    return Trace(header, ops=out_ops, keys=out_keys, sizes=sizes)
+
+
+#: Generator registry: family name → generator callable.
+GENERATORS: Dict[str, Callable[..., Trace]] = {
+    "ycsb": ycsb,
+    "btree": btree,
+    "logappend": logappend,
+}
+
+
+def generate(family: str, **params) -> Trace:
+    """Dispatch to a registered generator by family name."""
+    try:
+        generator = GENERATORS[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace family {family!r}; "
+            f"known: {', '.join(sorted(GENERATORS))}"
+        ) from None
+    return generator(**params)
+
+
+def regenerate(header: TraceHeader) -> Trace:
+    """Rebuild a trace from its header's recorded family/seed/params.
+
+    The result is byte-identical to the original (the golden-trace CI
+    test asserts exactly this), because generators are pure functions
+    of their parameters and record every parameter in the header.
+    """
+    return generate(header.family, seed=header.seed, **header.params)

@@ -279,6 +279,7 @@ class TestRegistry:
         expected = {
             "fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "table2", "ablation", "dma", "mix", "dlrm", "check", "gpt",
+            "kvtrace",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -1,0 +1,56 @@
+"""Regenerate the committed golden trace and its expected replay.
+
+Run from the repo root when the trace format or the replay physics
+change *intentionally*:
+
+    PYTHONPATH=src python tests/traces/golden/make_golden.py
+
+and commit the refreshed ``ycsb_a.rptr`` / ``expected.json`` alongside
+the change that invalidated them.  ``tests/traces/test_golden.py``
+fails loudly on any unintentional drift.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.traces import generate, replay_all
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+TRACE_PATH = GOLDEN_DIR / "ycsb_a.rptr"
+EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+
+#: Small enough to commit, rich enough to touch every model's paths.
+GOLDEN_PARAMS = dict(
+    num_ops=500, key_space=1024, read_fraction=0.5, skew=0.99, seed=42
+)
+GOLDEN_BATCH_LINES = 1 << 12
+
+
+def expected_payload():
+    """(canonical expected.json text, raw trace bytes)."""
+    trace = generate("ycsb", **GOLDEN_PARAMS)
+    raw = trace.to_bytes()
+    payload = {
+        "sha256": hashlib.sha256(raw).hexdigest(),
+        "num_bytes": len(raw),
+        "batch_lines": GOLDEN_BATCH_LINES,
+        "replay": {
+            model: result.to_row()
+            for model, result in replay_all(
+                trace, batch_lines=GOLDEN_BATCH_LINES
+            ).items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n", raw
+
+
+def main() -> None:
+    text, raw = expected_payload()
+    TRACE_PATH.write_bytes(raw)
+    EXPECTED_PATH.write_text(text)
+    print(f"wrote {TRACE_PATH.name} ({len(raw)} B) and {EXPECTED_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

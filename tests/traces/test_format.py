@@ -1,0 +1,137 @@
+"""Unit tests for the columnar trace format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces import OP_APPEND, OP_GET, OP_PUT, Trace, TraceFormatError, TraceHeader
+from repro.traces.format import FORMAT_VERSION, MAGIC
+
+
+def small_trace(num_ops=16, key_space=8, slot_lines=4) -> Trace:
+    header = TraceHeader(
+        family="test", seed=0, num_ops=num_ops,
+        key_space=key_space, slot_lines=slot_lines,
+        params={"k": 1},
+    )
+    rng = np.random.default_rng(0)
+    ops = rng.integers(0, 3, size=num_ops).astype(np.uint8)
+    keys = rng.integers(0, key_space, size=num_ops).astype(np.int64)
+    sizes = rng.integers(1, slot_lines + 1, size=num_ops).astype(np.int64)
+    return Trace(header, ops, keys, sizes)
+
+
+class TestHeader:
+    def test_json_round_trip(self):
+        header = small_trace().header
+        assert TraceHeader.from_json(header.to_json()) == header
+
+    def test_json_is_canonical(self):
+        header = small_trace().header
+        assert header.to_json() == header.to_json()
+        assert " " not in header.to_json()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceHeader(family="t", seed=0, num_ops=-1, key_space=1, slot_lines=1)
+        with pytest.raises(ConfigurationError):
+            TraceHeader(family="t", seed=0, num_ops=0, key_space=0, slot_lines=1)
+        with pytest.raises(ConfigurationError):
+            TraceHeader(family="t", seed=0, num_ops=0, key_space=1, slot_lines=0)
+
+
+class TestTrace:
+    def test_columns_frozen(self):
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            trace.ops[0] = 1
+
+    def test_column_validation(self):
+        header = small_trace().header
+        good = small_trace()
+        with pytest.raises(ConfigurationError):
+            Trace(header, good.ops[:-1], good.keys[:-1], good.sizes[:-1])
+        bad_keys = np.asarray(good.keys).copy()
+        bad_keys[0] = header.key_space  # out of range
+        with pytest.raises(ConfigurationError):
+            Trace(header, good.ops, bad_keys, good.sizes)
+        bad_sizes = np.asarray(good.sizes).copy()
+        bad_sizes[0] = header.slot_lines + 1
+        with pytest.raises(ConfigurationError):
+            Trace(header, good.ops, good.keys, bad_sizes)
+
+    def test_derived_views(self):
+        trace = small_trace()
+        assert len(trace) == 16
+        assert trace.total_lines == int(np.asarray(trace.sizes).sum())
+        assert trace.footprint_lines == 8 * 4
+        counts = trace.op_counts()
+        assert set(counts) == {"get", "put", "append"}
+        assert sum(counts.values()) == len(trace)
+        writes = int((np.asarray(trace.ops) != OP_GET).sum())
+        assert trace.write_fraction == pytest.approx(writes / len(trace))
+        pop = trace.key_popularity()
+        assert pop.sum() == trace.total_lines
+
+    def test_round_trip_bytes(self):
+        trace = small_trace()
+        again = Trace.from_bytes(trace.to_bytes())
+        assert again == trace
+        assert again.to_bytes() == trace.to_bytes()
+
+    def test_save_load(self, tmp_path):
+        trace = small_trace()
+        path = trace.save(tmp_path / "t.rptr")
+        assert Trace.load(path) == trace
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(small_trace().to_bytes())
+        raw[:4] = b"NOPE"
+        with pytest.raises(TraceFormatError):
+            Trace.from_bytes(bytes(raw))
+
+    def test_unknown_version_rejected(self):
+        raw = bytearray(small_trace().to_bytes())
+        raw[4] = FORMAT_VERSION + 1
+        with pytest.raises(TraceFormatError):
+            Trace.from_bytes(bytes(raw))
+
+    def test_truncation_rejected(self):
+        raw = small_trace().to_bytes()
+        assert raw.startswith(MAGIC)
+        with pytest.raises(TraceFormatError):
+            Trace.from_bytes(raw[:-1])
+        with pytest.raises(TraceFormatError):
+            Trace.from_bytes(raw + b"\0")
+
+
+class TestBatches:
+    def test_batches_cover_the_trace_in_order(self):
+        trace = small_trace(num_ops=64)
+        seen_ops, seen_keys, seen_sizes = [], [], []
+        for ops, keys, sizes in trace.batches(batch_lines=7):
+            assert ops.size >= 1
+            seen_ops.append(ops)
+            seen_keys.append(keys)
+            seen_sizes.append(sizes)
+        assert np.array_equal(np.concatenate(seen_ops), trace.ops)
+        assert np.array_equal(np.concatenate(seen_keys), trace.keys)
+        assert np.array_equal(np.concatenate(seen_sizes), trace.sizes)
+
+    def test_batches_respect_the_line_budget(self):
+        trace = small_trace(num_ops=64)
+        for ops, keys, sizes in trace.batches(batch_lines=8):
+            # A window only exceeds the budget when a single op does.
+            assert sizes.sum() <= 8 or ops.size == 1
+
+    def test_one_giant_op_gets_its_own_batch(self):
+        trace = small_trace(num_ops=4, slot_lines=32)
+        batches = list(trace.batches(batch_lines=1))
+        assert len(batches) == 4
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(small_trace().batches(batch_lines=0))
+
+    def test_ops_named(self):
+        assert (OP_GET, OP_PUT, OP_APPEND) == (0, 1, 2)

@@ -1,0 +1,58 @@
+"""Golden trace: committed bytes and replay results must never drift.
+
+The repo commits a small YCSB-A trace (``golden/ycsb_a.rptr``) plus the
+canonical JSON of its replay through every model and the software
+alternative (``golden/expected.json``).  CI replays the golden trace
+and asserts byte-stability three ways:
+
+1. the committed binary still parses and regenerates byte-identically
+   from its own header (format + generator stability),
+2. replaying it through all models reproduces the committed rows, and
+3. re-serializing those rows yields the committed file byte-for-byte
+   (canonical-JSON stability, the same contract ``repro-report`` gates).
+
+Intentional changes re-bless via ``golden/make_golden.py``.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.traces import Trace, regenerate, replay_all
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def golden_raw() -> bytes:
+    return (GOLDEN_DIR / "ycsb_a.rptr").read_bytes()
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict:
+    return json.loads((GOLDEN_DIR / "expected.json").read_text())
+
+
+class TestGoldenTrace:
+    def test_committed_bytes_parse(self, golden_raw, expected):
+        assert len(golden_raw) == expected["num_bytes"]
+        assert hashlib.sha256(golden_raw).hexdigest() == expected["sha256"]
+        trace = Trace.from_bytes(golden_raw)
+        assert trace.header.family == "ycsb"
+        assert trace.to_bytes() == golden_raw
+
+    def test_header_regenerates_the_committed_bytes(self, golden_raw):
+        trace = Trace.from_bytes(golden_raw)
+        assert regenerate(trace.header).to_bytes() == golden_raw
+
+    def test_replay_matches_committed_rows(self, golden_raw, expected):
+        trace = Trace.from_bytes(golden_raw)
+        results = replay_all(trace, batch_lines=expected["batch_lines"])
+        actual = {model: result.to_row() for model, result in results.items()}
+        assert actual == expected["replay"]
+
+    def test_expected_json_is_byte_stable(self, expected):
+        committed = (GOLDEN_DIR / "expected.json").read_text()
+        assert json.dumps(expected, indent=2, sort_keys=True) + "\n" == committed

@@ -1,0 +1,148 @@
+"""Generator determinism: fixed seed ⇒ byte-identical traces, even
+across process boundaries (DET001's behavioural contract).
+
+The cross-process half forks workers through the sweep engine — the
+same mechanism ``--jobs`` uses — and compares sha256 digests of the
+serialized trace against the parent process's digest.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import SweepSpec, fork_available, run_sweep
+from repro.traces import GENERATORS, OP_APPEND, OP_GET, YCSB_MIXES, generate, regenerate
+from repro.traces.generators import btree, logappend, ycsb
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+#: Small-but-nontrivial parameter strategies per family.
+PARAM_STRATEGIES = {
+    "ycsb": st.fixed_dictionaries(
+        {
+            "num_ops": st.integers(1, 400),
+            "key_space": st.integers(1, 512),
+            "read_fraction": st.sampled_from([0.0, 0.5, 0.95, 1.0]),
+            "skew": st.sampled_from([0.0, 0.6, 0.99, 1.2]),
+            "seed": st.integers(0, 2**31 - 1),
+        }
+    ),
+    "btree": st.fixed_dictionaries(
+        {
+            "num_ops": st.integers(1, 200),
+            "fanout": st.integers(2, 16),
+            "leaves": st.integers(1, 256),
+            "insert_fraction": st.sampled_from([0.0, 0.3, 1.0]),
+            "split_every": st.integers(1, 8),
+            "seed": st.integers(0, 2**31 - 1),
+        }
+    ),
+    "logappend": st.fixed_dictionaries(
+        {
+            "num_ops": st.integers(1, 400),
+            "key_space": st.integers(8, 1024),
+            "read_fraction": st.sampled_from([0.0, 0.1, 0.5]),
+            "compact_every": st.integers(1, 32),
+            "compact_reads": st.integers(1, 8),
+            "seed": st.integers(0, 2**31 - 1),
+        }
+    ),
+}
+
+
+def trace_digest(family: str, params: dict) -> str:
+    """Sweep point: build the trace in the worker, ship back its hash."""
+    return hashlib.sha256(generate(family, **params).to_bytes()).hexdigest()
+
+
+class TestInProcessDeterminism:
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_same_seed_same_bytes(self, family, data):
+        params = data.draw(PARAM_STRATEGIES[family])
+        first = generate(family, **params)
+        second = generate(family, **params)
+        assert first.to_bytes() == second.to_bytes()
+
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_header_regenerates_the_trace(self, family, data):
+        params = data.draw(PARAM_STRATEGIES[family])
+        trace = generate(family, **params)
+        assert regenerate(trace.header).to_bytes() == trace.to_bytes()
+
+    def test_different_seeds_differ(self):
+        a = ycsb(num_ops=500, key_space=128, seed=0)
+        b = ycsb(num_ops=500, key_space=128, seed=1)
+        assert a.to_bytes() != b.to_bytes()
+
+
+@needs_fork
+class TestCrossProcessDeterminism:
+    """Forked sweep workers must reproduce the parent's bytes exactly."""
+
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    @settings(max_examples=5, deadline=None)
+    @given(data=st.data())
+    def test_fork_matches_parent(self, family, data):
+        params = data.draw(PARAM_STRATEGIES[family])
+        parent = trace_digest(family, params)
+        # Two identical points so run_sweep actually opens a pool
+        # (a single point short-circuits to the serial path).
+        spec = SweepSpec.from_points(
+            "trace-digest",
+            trace_digest,
+            points=[{"family": family, "params": params}] * 2,
+        )
+        assert run_sweep(spec, jobs=2) == [parent, parent]
+
+
+class TestGeneratorShapes:
+    def test_ycsb_mixes(self):
+        assert YCSB_MIXES == {"a": 0.5, "b": 0.95, "c": 1.0}
+        read_only = ycsb(num_ops=300, key_space=64, read_fraction=1.0, seed=2)
+        assert read_only.write_fraction == 0.0
+
+    def test_ycsb_skew_concentrates_traffic(self):
+        flat = ycsb(num_ops=5000, key_space=256, skew=0.0, seed=3)
+        skewed = ycsb(num_ops=5000, key_space=256, skew=1.2, seed=3)
+        top = lambda t: np.sort(t.key_popularity())[-8:].sum() / t.total_lines
+        assert top(skewed) > top(flat)
+
+    def test_btree_root_dominates(self):
+        trace = btree(num_ops=500, leaves=64, seed=4)
+        # The root (page 0, level-order layout) is read by every op.
+        assert np.argmax(trace.key_popularity()) == 0
+        ops = np.asarray(trace.ops)
+        assert (ops == OP_GET).any() and trace.write_fraction > 0.0
+
+    def test_btree_splits_emit_put_bursts(self):
+        # split_every > num_ops: no insert ever reaches a split.
+        none = btree(num_ops=400, leaves=64, split_every=401, seed=5)
+        bursty = btree(num_ops=400, leaves=64, split_every=1, seed=5)
+        assert bursty.write_fraction > none.write_fraction
+
+    def test_logappend_appends_are_blind_writes(self):
+        trace = logappend(num_ops=1000, key_space=512, read_fraction=0.0, seed=6)
+        ops = np.asarray(trace.ops)
+        assert ((ops == OP_APPEND) | (ops == OP_GET)).all()
+        # Compactions inject the only gets in a read_fraction=0 trace.
+        assert (ops == OP_GET).sum() > 0
+
+    def test_logappend_keys_in_range(self):
+        trace = logappend(num_ops=3000, key_space=64, seed=7)
+        keys = np.asarray(trace.keys)
+        assert keys.min() >= 0 and keys.max() < 64
+
+    def test_unknown_family_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            generate("nosuch")
